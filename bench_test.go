@@ -1,0 +1,403 @@
+// Benchmarks: one per paper table/figure (regenerating its workload's hot
+// path under testing.B) plus ablations for the design decisions listed in
+// DESIGN.md §6. Full paper-style row output comes from cmd/experiments;
+// these benches measure the cost of each experiment's core operation.
+package lshensemble_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lshensemble"
+	"lshensemble/internal/asym"
+	"lshensemble/internal/core"
+	"lshensemble/internal/datagen"
+	"lshensemble/internal/exact"
+	"lshensemble/internal/expt"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/partition"
+	"lshensemble/internal/staticlsh"
+	"lshensemble/internal/stats"
+	"lshensemble/internal/tune"
+)
+
+// fixture caches a sketched corpus so repeated benches share setup cost.
+type fixture struct {
+	corpus  *datagen.Corpus
+	records []core.Record
+	queries []int
+}
+
+var (
+	fixtures   = map[string]*fixture{}
+	fixtureMu  sync.Mutex
+	benchHashA = minhash.NewHasher(256, 99)
+)
+
+func openDataFixture(b *testing.B, n int) *fixture {
+	b.Helper()
+	key := fmt.Sprintf("od-%d", n)
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtures[key]; ok {
+		return f
+	}
+	c := datagen.OpenData(datagen.OpenDataConfig{NumDomains: n, Seed: 99})
+	f := &fixture{
+		corpus:  c,
+		records: datagen.Records(c, benchHashA),
+		queries: datagen.SampleQueries(c, 50, 99),
+	}
+	fixtures[key] = f
+	return f
+}
+
+func webTableFixture(b *testing.B, n int) *fixture {
+	b.Helper()
+	key := fmt.Sprintf("wt-%d", n)
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtures[key]; ok {
+		return f
+	}
+	c := datagen.WebTable(datagen.WebTableConfig{NumDomains: n, Seed: 99})
+	f := &fixture{
+		corpus:  c,
+		records: datagen.Records(c, benchHashA),
+		queries: datagen.SampleQueries(c, 50, 99),
+	}
+	fixtures[key] = f
+	return f
+}
+
+// --- Figure 1: corpus generation + size histogram ---
+
+func BenchmarkFig1SizeHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 2000, Seed: uint64(i)})
+		_ = stats.LogHistogram(c.Sizes())
+		_ = stats.PowerLawAlphaMLE(c.Sizes(), 10)
+	}
+}
+
+// --- Figure 3 / tuning: the (b, r) grid optimization ---
+
+func BenchmarkFig3TuneOptimize(b *testing.B) {
+	o := tune.NewOptimizer(32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.OptimizeUncached(1000, 100, 0.5)
+	}
+}
+
+// --- Figure 4: the accuracy workload's query loop ---
+
+func BenchmarkFig4QueryAccuracyWorkload(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := f.queries[i%len(f.queries)]
+		idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+	}
+}
+
+// BenchmarkFig4GroundTruth measures the exact-engine side of Fig. 4.
+func BenchmarkFig4GroundTruth(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	engine := exact.Build(datagen.ExactDomains(f.corpus))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := f.queries[i%len(f.queries)]
+		engine.Scores(f.corpus.Domains[qi].Values)
+	}
+}
+
+// --- Figure 5: skew-sweep subset construction + one subset evaluation ---
+
+func BenchmarkFig5SkewSweep(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	for i := 0; i < b.N; i++ {
+		subsets := datagen.NestedSizeSubsets(f.corpus, 10)
+		for _, s := range subsets {
+			sizes := make([]int, len(s))
+			for j, k := range s {
+				sizes[j] = len(f.corpus.Domains[k].Values)
+			}
+			_ = stats.SkewnessInts(sizes)
+		}
+	}
+}
+
+// --- Figures 6/7: decile query selection ---
+
+func BenchmarkFig6LargeQuerySelection(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	for i := 0; i < b.N; i++ {
+		datagen.QueriesBySizeDecile(f.corpus, 9, 100, uint64(i))
+	}
+}
+
+// --- Figure 8: partition morphing ---
+
+func BenchmarkFig8PartitionMorph(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	sizes := f.corpus.Sizes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.Morph(sizes, 32, float64(i%9)/8)
+	}
+}
+
+// --- Figure 9: indexing and query cost ---
+
+func BenchmarkFig9Indexing(b *testing.B) {
+	for _, parts := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			f := webTableFixture(b, 10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: parts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9Sketching(b *testing.B) {
+	f := webTableFixture(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		datagen.Records(f.corpus, benchHashA)
+	}
+}
+
+func BenchmarkFig9Query(b *testing.B) {
+	for _, parts := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			f := webTableFixture(b, 10000)
+			idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: parts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the tuning cache as a production deployment would be.
+			for _, qi := range f.queries {
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qi := f.queries[i%len(f.queries)]
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+		})
+	}
+}
+
+// --- Table 4: baseline vs ensemble, sharded ---
+
+func BenchmarkTab4IndexingCost(b *testing.B) {
+	for _, parts := range []int{1, 8, 32} {
+		name := fmt.Sprintf("ensemble=%d", parts)
+		if parts == 1 {
+			name = "baseline"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := webTableFixture(b, 10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: parts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTab4QueryCost(b *testing.B) {
+	for _, parts := range []int{1, 8, 32} {
+		name := fmt.Sprintf("ensemble=%d", parts)
+		if parts == 1 {
+			name = "baseline"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := openDataFixture(b, 8000) // overlapping corpus → non-trivial candidates
+			idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: parts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, qi := range f.queries {
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qi := f.queries[i%len(f.queries)]
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+		})
+	}
+}
+
+// --- Figure 10: asym padding + analysis ---
+
+func BenchmarkFig10AsymPad(b *testing.B) {
+	h := minhash.NewHasher(256, 1)
+	sig := h.SketchStrings([]string{"a", "b", "c"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asym.Pad(sig, "key", 1_000_000)
+	}
+}
+
+func BenchmarkFig10Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.RunFig10()
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+// BenchmarkAblationRMax sweeps the forest depth: deeper trees mean fewer,
+// more selective probes per band.
+func BenchmarkAblationRMax(b *testing.B) {
+	for _, rMax := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("rmax=%d", rMax), func(b *testing.B) {
+			f := openDataFixture(b, 4000)
+			idx, err := lshensemble.Build(f.records, lshensemble.Options{
+				NumPartitions: 16, RMax: rMax,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, qi := range f.queries {
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qi := f.queries[i%len(f.queries)]
+				idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitioner compares the three partitioning strategies
+// on build cost over the same skewed corpus.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for name, pf := range map[string]lshensemble.PartitionerFunc{
+		"equidepth": lshensemble.EquiDepth,
+		"equiwidth": lshensemble.EquiWidth,
+		"minimax":   lshensemble.Minimax,
+	} {
+		b.Run(name, func(b *testing.B) {
+			f := openDataFixture(b, 4000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lshensemble.Build(f.records, lshensemble.Options{
+					NumPartitions: 16, Partitioner: pf,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTuneCache quantifies the memoization win of the tuner.
+func BenchmarkAblationTuneCache(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		o := tune.NewOptimizer(32, 8)
+		o.Optimize(1000, 100, 0.5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Optimize(1000, 100, 0.5)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		o := tune.NewOptimizer(32, 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.OptimizeUncached(1000, 100, 0.5)
+		}
+	})
+}
+
+// BenchmarkAblationStaticVsDynamic compares the classic fixed-(b,r)
+// MinHash LSH (Section 3.2) against the dynamic forest on query cost. The
+// static index cannot serve per-query thresholds — this measures the price
+// of the flexibility.
+func BenchmarkAblationStaticVsDynamic(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	maxSize := 0
+	for _, r := range f.records {
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+	}
+	b.Run("static", func(b *testing.B) {
+		sStar := staticlsh.ConvertThreshold(0.5, float64(maxSize), 100)
+		idx := staticlsh.NewForThreshold(256, sStar)
+		for _, r := range f.records {
+			idx.Add(r.Key, r.Sig)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qi := f.queries[i%len(f.queries)]
+			idx.Query(f.records[qi].Sig)
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		idx, err := lshensemble.BuildBaseline(f.records, 256, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, qi := range f.queries {
+			idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qi := f.queries[i%len(f.queries)]
+			idx.Query(f.records[qi].Sig, f.records[qi].Size, 0.5)
+		}
+	})
+}
+
+// BenchmarkTopK measures the top-k search path.
+func BenchmarkTopK(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := f.queries[i%len(f.queries)]
+		idx.QueryTopK(f.records[qi].Sig, f.records[qi].Size, 10)
+	}
+}
+
+// BenchmarkSerialization measures index save/load round trips.
+func BenchmarkSerialization(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := idx.AppendBinary(nil)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.AppendBinary(buf[:0])
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Decode(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

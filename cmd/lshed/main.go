@@ -1,0 +1,230 @@
+// Command lshed is a domain-search tool over directories of CSV tables,
+// the end-to-end scenario motivating the paper: find columns in a data
+// lake that maximally contain a query column, i.e. joinable tables.
+//
+// Usage:
+//
+//	lshed index  -data <dir> [-out index.bin] [-partitions 16] [-hashes 256] [-minsize 10]
+//	lshed query  -index index.bin -file <table.csv> -column <name> [-t 0.7]
+//	lshed search -data <dir> -file <table.csv> -column <name> [-t 0.7]   (index + query in one shot)
+//	lshed stats  -index index.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lshensemble"
+	"lshensemble/internal/tabular"
+)
+
+// hashSeed fixes the hash family so saved indexes and later queries agree.
+const hashSeed = 0x15e4e5e3b1e
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lshed:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `lshed — containment search over CSV data lakes (LSH Ensemble)
+
+subcommands:
+  index   build an index over every column of every CSV in a directory
+  query   search a saved index with one column of a CSV file
+  search  index a directory and query it in one invocation
+  stats   print a saved index's shape
+
+run "lshed <subcommand> -h" for flags`)
+}
+
+func buildRecords(dir string, minSize, numHash int) ([]lshensemble.DomainRecord, *lshensemble.Hasher, error) {
+	cols, err := tabular.FromDir(dir, tabular.Options{MinSize: minSize})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cols) == 0 {
+		return nil, nil, fmt.Errorf("no usable columns found in %s", dir)
+	}
+	h := lshensemble.NewHasher(numHash, hashSeed)
+	recs := make([]lshensemble.DomainRecord, len(cols))
+	for i, c := range cols {
+		recs[i] = lshensemble.SketchStrings(h, c.Key, c.Values)
+	}
+	return recs, h, nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	data := fs.String("data", "", "directory of CSV files (required)")
+	out := fs.String("out", "index.bin", "output index file")
+	partitions := fs.Int("partitions", 16, "number of cardinality partitions")
+	hashes := fs.Int("hashes", 256, "MinHash signature length")
+	minSize := fs.Int("minsize", 10, "discard columns with fewer distinct values")
+	fs.Parse(args)
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	start := time.Now()
+	recs, _, err := buildRecords(*data, *minSize, *hashes)
+	if err != nil {
+		return err
+	}
+	idx, err := lshensemble.Build(recs, lshensemble.Options{
+		NumHash: *hashes, NumPartitions: *partitions,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lshensemble.Save(f, idx); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d domains into %d partitions in %s → %s\n",
+		idx.Len(), idx.NumPartitions(), time.Since(start).Round(time.Millisecond), *out)
+	return nil
+}
+
+func loadQueryColumn(file, column string) ([]string, error) {
+	cols, err := tabular.FromFile(file, tabular.Options{MinSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, c := range cols {
+		names = append(names, c.Key)
+		if keyColumn(c.Key) == column {
+			return c.Values, nil
+		}
+	}
+	return nil, fmt.Errorf("column %q not found in %s (have %v)", column, file, names)
+}
+
+// keyColumn strips the "<table>:" prefix from a domain key.
+func keyColumn(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == ':' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+func runQuery(idx *lshensemble.Index, h *lshensemble.Hasher, file, column string, t float64) error {
+	values, err := loadQueryColumn(file, column)
+	if err != nil {
+		return err
+	}
+	q := lshensemble.SketchStrings(h, "query", values)
+	start := time.Now()
+	matches := idx.Query(q.Sig, q.Size, t)
+	elapsed := time.Since(start)
+	sort.Strings(matches)
+	fmt.Printf("query %s:%s (%d distinct values), t* = %.2f → %d candidates in %s\n",
+		file, column, q.Size, t, len(matches), elapsed.Round(time.Microsecond))
+	for _, m := range matches {
+		fmt.Println("  ", m)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	index := fs.String("index", "index.bin", "index file written by lshed index")
+	file := fs.String("file", "", "CSV file holding the query column (required)")
+	column := fs.String("column", "", "query column name (required)")
+	t := fs.Float64("t", 0.7, "containment threshold t*")
+	fs.Parse(args)
+	if *file == "" || *column == "" {
+		return fmt.Errorf("-file and -column are required")
+	}
+	f, err := os.Open(*index)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	idx, err := lshensemble.Load(f)
+	if err != nil {
+		return err
+	}
+	h := lshensemble.NewHasher(idx.Options().NumHash, hashSeed)
+	return runQuery(idx, h, *file, *column, *t)
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	data := fs.String("data", "", "directory of CSV files (required)")
+	file := fs.String("file", "", "CSV file holding the query column (required)")
+	column := fs.String("column", "", "query column name (required)")
+	t := fs.Float64("t", 0.7, "containment threshold t*")
+	partitions := fs.Int("partitions", 16, "number of cardinality partitions")
+	hashes := fs.Int("hashes", 256, "MinHash signature length")
+	minSize := fs.Int("minsize", 10, "discard columns with fewer distinct values")
+	fs.Parse(args)
+	if *data == "" || *file == "" || *column == "" {
+		return fmt.Errorf("-data, -file and -column are required")
+	}
+	recs, h, err := buildRecords(*data, *minSize, *hashes)
+	if err != nil {
+		return err
+	}
+	idx, err := lshensemble.Build(recs, lshensemble.Options{
+		NumHash: *hashes, NumPartitions: *partitions,
+	})
+	if err != nil {
+		return err
+	}
+	return runQuery(idx, h, *file, *column, *t)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	index := fs.String("index", "index.bin", "index file")
+	fs.Parse(args)
+	f, err := os.Open(*index)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	idx, err := lshensemble.Load(f)
+	if err != nil {
+		return err
+	}
+	o := idx.Options()
+	fmt.Printf("domains:    %d\n", idx.Len())
+	fmt.Printf("hashes:     %d (rMax %d)\n", o.NumHash, o.RMax)
+	fmt.Printf("partitions: %d\n", idx.NumPartitions())
+	for i, p := range idx.PartitionBounds() {
+		fmt.Printf("  %2d: sizes [%d, %d], %d domains\n", i, p.Lower, p.Upper, p.Count)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package lshensemble_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lshensemble"
+	"lshensemble/internal/datagen"
+	"lshensemble/internal/minhash"
+)
+
+// TestConcurrentQueries hammers one index from many goroutines — the
+// documented concurrency contract (safe for concurrent queries). Run with
+// -race to validate.
+func TestConcurrentQueries(t *testing.T) {
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 1000, Seed: 21})
+	h := minhash.NewHasher(128, 21)
+	recs := datagen.Records(corpus, h)
+	idx, err := lshensemble.Build(recs, lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datagen.SampleQueries(corpus, 20, 21)
+
+	// Reference results computed single-threaded.
+	want := make([][]string, len(queries))
+	for i, qi := range queries {
+		want[i] = idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (w + rep) % len(queries)
+				qi := queries[i]
+				got := idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+				if len(got) != len(want[i]) {
+					errs <- fmt.Errorf("worker %d: query %d returned %d results, want %d",
+						w, i, len(got), len(want[i]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentTopK exercises the top-k path concurrently (it shares the
+// tuner cache across goroutines).
+func TestConcurrentTopK(t *testing.T) {
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 500, Seed: 22})
+	h := minhash.NewHasher(128, 22)
+	recs := datagen.Records(corpus, h)
+	idx, err := lshensemble.Build(recs, lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				r := recs[(w*37+rep*11)%len(recs)]
+				top := idx.QueryTopK(r.Sig, r.Size, 5)
+				if len(top) == 0 {
+					t.Errorf("worker %d: empty top-k for self query", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPublicTopK(t *testing.T) {
+	h := lshensemble.NewHasher(256, 1)
+	var records []lshensemble.DomainRecord
+	// Nested prefixes: pN contains p(N-1) ⊂ ... ⊂ p0's values.
+	for i := 1; i <= 10; i++ {
+		vals := make([]string, i*10)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("v%d", j)
+		}
+		records = append(records, lshensemble.SketchStrings(h, fmt.Sprintf("p%d", i), vals))
+	}
+	idx, err := lshensemble.Build(records, lshensemble.Options{NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := records[2] // p3, values v0..v29, contained in p3..p10
+	var top []lshensemble.TopKResult = idx.QueryTopK(q.Sig, q.Size, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d results", len(top))
+	}
+	if top[0].EstContainment < 0.9 {
+		t.Fatalf("top-1 containment %v", top[0].EstContainment)
+	}
+}

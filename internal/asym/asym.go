@@ -1,0 +1,166 @@
+// Package asym implements Asymmetric Minwise Hashing (Shrivastava & Li,
+// WWW 2015), the state-of-the-art containment-search comparator evaluated
+// by the paper (Section 4, Section 6, and the appendix).
+//
+// The asymmetric transformation pads every indexed domain with fresh,
+// never-colliding values until it reaches the global maximum domain size M.
+// After padding, the Jaccard similarity between a query and a padded domain
+// is monotone in their containment (paper Eq. 31), so a single MinHash LSH
+// can answer containment queries. The paper's appendix shows why this
+// collapses under skew: the candidate probability of a fully contained
+// domain decays like 1 − (1 − (q/M)^r)^b, which is near zero once M ≫ q
+// (Fig. 10) — our implementation reproduces exactly that recall collapse.
+//
+// Padding simulation: padding a signature with k fresh values replaces each
+// slot v with min(v, min of k iid uniform hashes). We sample that minimum
+// directly from its exact distribution (inverse CDF, see
+// xrand.MinOfUniforms) with a deterministic per-domain stream instead of
+// hashing k literal values, which would cost O(k·m) per domain with k up to
+// millions. PadExact provides the literal construction for cross-validation
+// in tests.
+package asym
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/lshforest"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/tune"
+	"lshensemble/internal/xrand"
+)
+
+// Index is an Asymmetric Minwise Hashing containment index.
+type Index struct {
+	forest  *lshforest.Forest
+	keys    []string
+	maxSize int // M: the padded size of every indexed domain
+	numHash int
+	opt     *tune.Optimizer
+}
+
+// ErrEmpty is returned by Build when no records are given.
+var ErrEmpty = errors.New("asym: no records to index")
+
+// Build constructs the index, padding every record's signature to the
+// maximum record size. numHash and rMax default to 256 and 8 when zero.
+func Build(records []core.Record, numHash, rMax int) (*Index, error) {
+	if numHash == 0 {
+		numHash = 256
+	}
+	if rMax == 0 {
+		rMax = 8
+	}
+	if len(records) == 0 {
+		return nil, ErrEmpty
+	}
+	maxSize := 0
+	for _, r := range records {
+		if r.Size <= 0 {
+			return nil, fmt.Errorf("asym: record %q has non-positive size %d", r.Key, r.Size)
+		}
+		if len(r.Sig) < numHash {
+			return nil, fmt.Errorf("asym: record %q signature length %d < numHash %d",
+				r.Key, len(r.Sig), numHash)
+		}
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+	}
+	x := &Index{
+		forest:  lshforest.New(numHash, rMax),
+		maxSize: maxSize,
+		numHash: numHash,
+		opt:     tune.NewOptimizer(numHash/rMax, rMax),
+	}
+	for _, r := range records {
+		padded := Pad(r.Sig[:numHash], r.Key, maxSize-r.Size)
+		x.forest.Add(uint32(len(x.keys)), padded)
+		x.keys = append(x.keys, r.Key)
+	}
+	x.forest.Index()
+	return x, nil
+}
+
+// Pad returns a copy of sig transformed as if k fresh values (unique to
+// this domain, never colliding with anything else) had been added to the
+// underlying domain. The padding stream is derived deterministically from
+// the domain key so rebuilding an index is reproducible.
+func Pad(sig minhash.Signature, key string, k int) minhash.Signature {
+	out := sig.Clone()
+	if k <= 0 {
+		return out
+	}
+	rng := xrand.New(minhash.HashString(key) ^ 0x9e3779b97f4a7c15)
+	for i := range out {
+		pv := rng.MinOfUniforms(k, minhash.MersennePrime)
+		if pv < out[i] {
+			out[i] = pv
+		}
+	}
+	return out
+}
+
+// PadExact performs the padding by literally hashing k fresh values with
+// the hasher — O(k·m). Only feasible for small k; used to validate Pad.
+func PadExact(h *minhash.Hasher, sig minhash.Signature, key string, k int) minhash.Signature {
+	out := sig.Clone()
+	for i := 0; i < k; i++ {
+		h.PushString(out, fmt.Sprintf("\x00pad|%s|%d", key, i))
+	}
+	return out
+}
+
+// Query returns the keys of candidate domains at containment threshold
+// tStar. The tuner is invoked with x = M because every indexed signature
+// represents a padded domain of size M.
+func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
+	if querySize <= 0 || len(x.keys) == 0 {
+		return nil
+	}
+	params := x.opt.Optimize(float64(x.maxSize), float64(querySize), tStar)
+	var out []string
+	x.forest.QueryDedup(sig, params.B, params.R, nil, func(id uint32) bool {
+		out = append(out, x.keys[id])
+		return true
+	})
+	return out
+}
+
+// Len returns the number of indexed domains.
+func (x *Index) Len() int { return len(x.keys) }
+
+// MaxSize returns M, the padded size of every indexed domain.
+func (x *Index) MaxSize() int { return x.maxSize }
+
+// ProbFullContainment is P(t=1 | M, q, b, r) (paper Eq. 32): the
+// probability that a domain fully containing the query survives the LSH
+// filter after padding to size M. The paper's Fig. 10 (left) plots this
+// decay as M grows.
+func ProbFullContainment(M, q float64, b, r int) float64 {
+	if M <= 0 || q <= 0 {
+		return 0
+	}
+	s := q / M
+	if s > 1 {
+		s = 1
+	}
+	return 1 - math.Pow(1-math.Pow(s, float64(r)), float64(b))
+}
+
+// MinHashesForRecall is m*: the minimum number of hash functions needed to
+// keep ProbFullContainment at least target with the most permissive tuning
+// (r = 1, b = m). Fig. 10 (right) shows m* growing linearly with M.
+func MinHashesForRecall(M, q, target float64) int {
+	if target <= 0 {
+		return 1
+	}
+	if target >= 1 || q >= M {
+		return 1
+	}
+	// 1 - (1 - q/M)^m >= target  ⇒  m >= log(1-target)/log(1-q/M)
+	m := math.Log(1-target) / math.Log(1-q/M)
+	return int(math.Ceil(m))
+}

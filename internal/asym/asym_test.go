@@ -1,0 +1,250 @@
+package asym
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/xrand"
+)
+
+func makeRecords(n, numHash int, maxSize int, seed uint64) ([]core.Record, *minhash.Hasher) {
+	rng := xrand.New(seed)
+	h := minhash.NewHasher(numHash, 7)
+	recs := make([]core.Record, n)
+	for i := range recs {
+		size := rng.Pareto(2.0, 10, maxSize)
+		hashed := make([]uint64, size)
+		for j := 0; j < size; j++ {
+			hashed[j] = minhash.HashUint64(uint64(j))
+		}
+		recs[i] = core.Record{Key: fmt.Sprintf("a%03d", i), Size: size, Sig: h.Sketch(hashed)}
+	}
+	return recs, h
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil, 64, 4); err != ErrEmpty {
+		t.Fatal("empty build accepted")
+	}
+}
+
+func TestPadZeroIsIdentity(t *testing.T) {
+	h := minhash.NewHasher(64, 1)
+	sig := h.SketchStrings([]string{"a", "b"})
+	out := Pad(sig, "k", 0)
+	for i := range sig {
+		if out[i] != sig[i] {
+			t.Fatal("Pad with k=0 must be identity")
+		}
+	}
+	// and must not alias the input
+	out[0] = 12345
+	if sig[0] == 12345 {
+		t.Fatal("Pad must copy")
+	}
+}
+
+func TestPadOnlyDecreasesSlots(t *testing.T) {
+	h := minhash.NewHasher(128, 1)
+	sig := h.SketchStrings([]string{"x", "y", "z"})
+	out := Pad(sig, "k", 1000)
+	for i := range sig {
+		if out[i] > sig[i] {
+			t.Fatalf("slot %d increased after padding", i)
+		}
+	}
+}
+
+func TestPadDeterministic(t *testing.T) {
+	h := minhash.NewHasher(64, 1)
+	sig := h.SketchStrings([]string{"x"})
+	a := Pad(sig, "k", 50)
+	b := Pad(sig, "k", 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Pad not deterministic")
+		}
+	}
+	c := Pad(sig, "other", 50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different keys produced identical padding")
+	}
+}
+
+// TestPadMatchesExactDistribution cross-validates the inverse-CDF padding
+// sampler against literal padding (DESIGN.md substitution #3): over many
+// domains, the mean normalized slot value after padding with k values must
+// agree between the two constructions.
+func TestPadMatchesExactDistribution(t *testing.T) {
+	const m = 64
+	const k = 40
+	h := minhash.NewHasher(m, 3)
+	const trials = 120
+	var meanSim, meanExact float64
+	for i := 0; i < trials; i++ {
+		key := fmt.Sprintf("dom%d", i)
+		sig := h.SketchStrings([]string{key + "v1", key + "v2"})
+		sim := Pad(sig, key, k)
+		exact := PadExact(h, sig, key, k)
+		for j := 0; j < m; j++ {
+			meanSim += float64(sim[j]) / float64(minhash.MersennePrime)
+			meanExact += float64(exact[j]) / float64(minhash.MersennePrime)
+		}
+	}
+	meanSim /= trials * m
+	meanExact /= trials * m
+	// Both should be ≈ 1/(k+2+1) = 1/43; allow generous sampling noise.
+	if math.Abs(meanSim-meanExact) > 0.15*meanExact {
+		t.Fatalf("simulated padding mean %v vs exact %v", meanSim, meanExact)
+	}
+}
+
+func TestSelfRetrievalLowSkew(t *testing.T) {
+	// With low skew (sizes near M), asym works: self-queries are found.
+	rng := xrand.New(9)
+	h := minhash.NewHasher(256, 7)
+	var recs []core.Record
+	for i := 0; i < 100; i++ {
+		size := 900 + rng.Intn(100) // all domains nearly the same size
+		hashed := make([]uint64, size)
+		for j := range hashed {
+			hashed[j] = minhash.HashUint64(uint64(i*10000 + j))
+		}
+		recs = append(recs, core.Record{Key: fmt.Sprintf("a%03d", i), Size: size, Sig: h.Sketch(hashed)})
+	}
+	x, err := Build(recs, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for i := 0; i < 50; i++ {
+		r := recs[i]
+		found := false
+		for _, k := range x.Query(r.Sig, r.Size, 0.5) {
+			if k == r.Key {
+				found = true
+			}
+		}
+		if !found {
+			misses++
+		}
+	}
+	if misses > 5 {
+		t.Fatalf("%d/50 self-misses at low skew", misses)
+	}
+}
+
+func TestRecallCollapsesUnderSkew(t *testing.T) {
+	// The paper's appendix: with M ≫ q and a high threshold, qualifying
+	// domains are almost never retrieved. Build a corpus with one huge
+	// domain (forcing large M) and query with a small domain fully
+	// contained in a small indexed domain.
+	h := minhash.NewHasher(256, 7)
+	sketchRange := func(lo, hi int) (minhash.Signature, int) {
+		hashed := make([]uint64, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			hashed = append(hashed, minhash.HashUint64(uint64(v)))
+		}
+		return h.Sketch(hashed), hi - lo
+	}
+	var recs []core.Record
+	// 50 small domains of size 20, each containing values [0,20).
+	for i := 0; i < 50; i++ {
+		sig, size := sketchRange(0, 20)
+		recs = append(recs, core.Record{Key: fmt.Sprintf("small%d", i), Size: size, Sig: sig})
+	}
+	// One huge domain forcing M = 100000.
+	bigSig, bigSize := sketchRange(1000000, 1100000)
+	recs = append(recs, core.Record{Key: "huge", Size: bigSize, Sig: bigSig})
+
+	x, err := Build(recs, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSig, qSize := sketchRange(0, 20) // fully contained in every small domain
+	found := 0
+	for _, k := range x.Query(qSig, qSize, 0.9) {
+		if k != "huge" {
+			found++
+		}
+	}
+	// Theory: P(candidate) ≈ 1-(1-(20/100000)^r)^b ~ 0 even at r=1,b=32.
+	if found > 5 {
+		t.Fatalf("asym retrieved %d/50 qualifying domains under extreme skew — padding should suppress them", found)
+	}
+}
+
+func TestProbFullContainment(t *testing.T) {
+	// Monotone decreasing in M; equals 1-(1-q/M)^b at r=1.
+	prev := 1.1
+	for _, M := range []float64{10, 100, 1000, 10000} {
+		p := ProbFullContainment(M, 10, 256, 1)
+		if p > prev {
+			t.Fatalf("P should decrease with M")
+		}
+		prev = p
+	}
+	if p := ProbFullContainment(10, 10, 256, 1); p < 0.999 {
+		t.Fatalf("M=q should give ~1, got %v", p)
+	}
+	want := 1 - math.Pow(1-0.01, 256)
+	if got := ProbFullContainment(1000, 10, 256, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("analytic mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestMinHashesForRecall(t *testing.T) {
+	// m* grows roughly linearly with M (Fig. 10 right).
+	m1 := MinHashesForRecall(1000, 1, 0.5)
+	m2 := MinHashesForRecall(2000, 1, 0.5)
+	m4 := MinHashesForRecall(4000, 1, 0.5)
+	if !(m2 > m1 && m4 > m2) {
+		t.Fatalf("m* not increasing: %d %d %d", m1, m2, m4)
+	}
+	ratio := float64(m4) / float64(m1)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("m* should grow ~linearly: m*(4000)/m*(1000) = %v", ratio)
+	}
+	// The chosen m* must actually achieve the target.
+	m := MinHashesForRecall(5000, 3, 0.5)
+	if p := ProbFullContainment(5000, 3, m, 1); p < 0.5 {
+		t.Fatalf("m*=%d gives P=%v < 0.5", m, p)
+	}
+	if MinHashesForRecall(10, 20, 0.5) != 1 {
+		t.Fatal("q >= M should need only 1 hash")
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	recs, _ := makeRecords(20, 64, 500, 11)
+	x, err := Build(recs, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Query(recs[0].Sig, 0, 0.5); got != nil {
+		t.Fatal("zero query size should return nil")
+	}
+	if x.MaxSize() <= 0 {
+		t.Fatal("MaxSize not set")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	h := minhash.NewHasher(64, 1)
+	sig := h.SketchStrings([]string{"a"})
+	if _, err := Build([]core.Record{{Key: "k", Size: 0, Sig: sig}}, 64, 4); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := Build([]core.Record{{Key: "k", Size: 1, Sig: sig[:10]}}, 64, 4); err == nil {
+		t.Fatal("short signature accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package asym
+
+import (
+	"fmt"
+	"testing"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/xrand"
+)
+
+// skewedPrefixCorpus builds power-law-sized prefix domains: domain i holds
+// values [0, size_i), so containment relationships are analytic.
+func skewedPrefixCorpus(n, numHash int, seed uint64) ([]core.Record, []int) {
+	rng := xrand.New(seed)
+	h := minhash.NewHasher(numHash, 7)
+	recs := make([]core.Record, n)
+	sizes := make([]int, n)
+	for i := range recs {
+		size := rng.Pareto(1.8, 10, 50000) // heavy skew
+		hashed := make([]uint64, size)
+		for j := 0; j < size; j++ {
+			hashed[j] = minhash.HashUint64(uint64(j))
+		}
+		sizes[i] = size
+		recs[i] = core.Record{Key: fmt.Sprintf("p%04d", i), Size: size, Sig: h.Sketch(hashed)}
+	}
+	return recs, sizes
+}
+
+func TestPartitionedBuildShape(t *testing.T) {
+	recs, _ := skewedPrefixCorpus(300, 128, 1)
+	x, err := BuildPartitioned(recs, 128, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 300 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if x.NumPartitions() < 2 || x.NumPartitions() > 8 {
+		t.Fatalf("partitions = %d", x.NumPartitions())
+	}
+}
+
+func TestPartitionedBuildEmpty(t *testing.T) {
+	if _, err := BuildPartitioned(nil, 64, 4, 8); err != ErrEmpty {
+		t.Fatal("empty build accepted")
+	}
+}
+
+// measureRecall computes recall of queries against the analytic prefix
+// ground truth: t(Q_i, X_j) = min(size_i, size_j)/size_i ≥ tStar.
+func measureRecall(t *testing.T, q func(minhash.Signature, int, float64) []string,
+	recs []core.Record, sizes []int, tStar float64) float64 {
+	t.Helper()
+	truth, hit := 0, 0
+	for qi := 0; qi < len(recs); qi += 7 {
+		got := map[string]bool{}
+		for _, k := range q(recs[qi].Sig, recs[qi].Size, tStar) {
+			got[k] = true
+		}
+		for xi := range recs {
+			c := float64(min(sizes[qi], sizes[xi])) / float64(sizes[qi])
+			if c >= tStar {
+				truth++
+				if got[recs[xi].Key] {
+					hit++
+				}
+			}
+		}
+	}
+	if truth == 0 {
+		t.Fatal("degenerate workload")
+	}
+	return float64(hit) / float64(truth)
+}
+
+// measureRecallInPartition computes recall restricted to pairs whose
+// *containing* domain falls in the size interval [lo, hi] — the regime the
+// paper's explanation singles out.
+func measureRecallInPartition(t *testing.T, q func(minhash.Signature, int, float64) []string,
+	recs []core.Record, sizes []int, tStar float64, lo, hi int) float64 {
+	t.Helper()
+	truth, hit := 0, 0
+	for qi := 0; qi < len(recs); qi += 3 {
+		if sizes[qi] > lo/2 {
+			continue // small queries against large containers: the padded regime
+		}
+		var got map[string]bool
+		for xi := range recs {
+			if sizes[xi] < lo || sizes[xi] > hi {
+				continue
+			}
+			c := float64(min(sizes[qi], sizes[xi])) / float64(sizes[qi])
+			if c >= tStar {
+				if got == nil {
+					got = map[string]bool{}
+					for _, k := range q(recs[qi].Sig, recs[qi].Size, tStar) {
+						got[k] = true
+					}
+				}
+				truth++
+				if got[recs[xi].Key] {
+					hit++
+				}
+			}
+		}
+	}
+	if truth == 0 {
+		t.Fatal("degenerate workload: no qualifying pairs in the wide partition")
+	}
+	return float64(hit) / float64(truth)
+}
+
+// TestPartitioningDoesNotRescueAsymRecall reproduces the paper's Section
+// 6.1 side experiment: adding partitioning to Asymmetric Minwise Hashing
+// does not rescue recall, because under a power law some partitions still
+// span a wide size range, and within those partitions the padding is still
+// large relative to small queries. We measure recall restricted to
+// containing-domains in the hybrid's widest (tail) partition and compare
+// with the ensemble's recall on the same pairs.
+func TestPartitioningDoesNotRescueAsymRecall(t *testing.T) {
+	recs, sizes := skewedPrefixCorpus(600, 256, 2)
+	const tStar = 0.7
+	const nParts = 8
+
+	parted, err := BuildPartitioned(recs, 256, 8, nParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := core.Build(recs, core.Options{NumHash: 256, RMax: 8, NumPartitions: nParts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The widest partition is the last (power-law tail).
+	tail := parted.bounds[len(parted.bounds)-1]
+	if tail.Upper < 3*tail.Lower {
+		t.Fatalf("tail partition [%d, %d] not wide enough to exercise the claim", tail.Lower, tail.Upper)
+	}
+
+	rParted := measureRecallInPartition(t, parted.Query, recs, sizes, tStar, tail.Lower, tail.Upper)
+	rEns := measureRecallInPartition(t, ens.Query, recs, sizes, tStar, tail.Lower, tail.Upper)
+	t.Logf("tail partition [%d, %d]: partitioned-asym recall %.3f, ensemble recall %.3f",
+		tail.Lower, tail.Upper, rParted, rEns)
+
+	if rEns < 0.8 {
+		t.Fatalf("ensemble recall %v in the tail partition unexpectedly low", rEns)
+	}
+	if rParted > rEns-0.3 {
+		t.Fatalf("partitioned asym tail recall %v too close to ensemble %v — padding within the wide partition should suppress small queries' matches", rParted, rEns)
+	}
+}
+
+func TestPartitionedQueryFindsWithinPartitionMatches(t *testing.T) {
+	// Within one partition (sizes close to the partition max), asym works:
+	// a query identical to an indexed domain should be found.
+	recs, _ := skewedPrefixCorpus(200, 128, 3)
+	x, err := BuildPartitioned(recs, 128, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for i := 0; i < 40; i++ {
+		r := recs[i*5]
+		for _, k := range x.Query(r.Sig, r.Size, 0.5) {
+			if k == r.Key {
+				found++
+				break
+			}
+		}
+	}
+	// 32 partitions over power-law sizes → most partitions are narrow, so
+	// self-retrieval should mostly work (unlike plain asym under skew).
+	if found < 25 {
+		t.Fatalf("only %d/40 self-retrievals with 32 partitions", found)
+	}
+}

@@ -1,0 +1,425 @@
+// Package core implements the LSH Ensemble index — the paper's primary
+// contribution (Section 5).
+//
+// Build partitions the domain records by cardinality (equi-depth by
+// default, per Theorem 2), builds one dynamic MinHash LSH (lshforest) per
+// partition, and answers containment queries by converting the containment
+// threshold t* into a per-partition Jaccard threshold using the partition's
+// upper size bound (Eq. 7 — conservative, so no new false negatives), then
+// probing every partition with its own dynamically tuned (b, r)
+// configuration (Eq. 26) and unioning the results
+// (Partitioned-Containment-Search).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lshensemble/internal/lshforest"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/partition"
+	"lshensemble/internal/tune"
+)
+
+// Record is one indexable domain: a caller-chosen key, the exact domain
+// cardinality, and the MinHash signature of the domain's values.
+type Record struct {
+	Key  string
+	Size int
+	Sig  minhash.Signature
+}
+
+// PartitionerFunc produces size intervals for the ensemble. The sizes slice
+// is the multiset of record cardinalities in arbitrary order.
+type PartitionerFunc func(sizes []int, n int) []partition.Partition
+
+// Options configures Build. Zero values select the defaults used in the
+// paper's experiments (m = 256 hash functions, trees of depth 8,
+// 16 partitions, equi-depth partitioning, parallel query).
+type Options struct {
+	// NumHash is the MinHash signature length m. Default 256.
+	NumHash int
+	// RMax is the tree depth of each partition's LSH forest; the tuner may
+	// choose any r ≤ RMax and b ≤ NumHash/RMax. Default 8.
+	RMax int
+	// NumPartitions is the number of cardinality partitions n. Default 16.
+	// With NumPartitions = 1 the ensemble degenerates into the paper's
+	// "Baseline" (a single dynamically tuned MinHash LSH).
+	NumPartitions int
+	// Partitioner chooses the partitioning strategy. Default
+	// partition.EquiDepth (optimal for power-law distributions).
+	Partitioner PartitionerFunc
+	// Sequential disables concurrent per-partition probing (useful for
+	// deterministic profiling).
+	Sequential bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumHash == 0 {
+		o.NumHash = 256
+	}
+	if o.RMax == 0 {
+		o.RMax = 8
+	}
+	if o.NumPartitions == 0 {
+		o.NumPartitions = 16
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = partition.EquiDepth
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.NumHash < 1 {
+		return fmt.Errorf("core: NumHash %d < 1", o.NumHash)
+	}
+	if o.RMax < 1 || o.RMax > o.NumHash {
+		return fmt.Errorf("core: RMax %d out of range [1, %d]", o.RMax, o.NumHash)
+	}
+	if o.NumPartitions < 1 {
+		return fmt.Errorf("core: NumPartitions %d < 1", o.NumPartitions)
+	}
+	return nil
+}
+
+// part is one cardinality partition with its dynamic LSH index.
+type part struct {
+	lower, upper int
+	forest       *lshforest.Forest
+}
+
+// Index is a built LSH Ensemble. It is safe for concurrent queries.
+type Index struct {
+	opts  Options
+	keys  []string
+	sizes []int
+	sigs  []minhash.Signature // per id; same backing arrays as the forests
+	parts []part
+	opt   *tune.Optimizer
+	dirty bool
+}
+
+// ErrEmpty is returned by Build when no records are given.
+var ErrEmpty = errors.New("core: no records to index")
+
+// Build constructs the ensemble over the records. Every record signature
+// must be at least opts.NumHash long and record sizes must be positive.
+func Build(records []Record, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, ErrEmpty
+	}
+	sizes := make([]int, len(records))
+	for i, r := range records {
+		if r.Size <= 0 {
+			return nil, fmt.Errorf("core: record %q has non-positive size %d", r.Key, r.Size)
+		}
+		if len(r.Sig) < opts.NumHash {
+			return nil, fmt.Errorf("core: record %q signature length %d < NumHash %d",
+				r.Key, len(r.Sig), opts.NumHash)
+		}
+		sizes[i] = r.Size
+	}
+	parts := opts.Partitioner(sizes, opts.NumPartitions)
+	if err := partition.Validate(parts, sizes); err != nil {
+		return nil, fmt.Errorf("core: partitioner produced invalid partitions: %w", err)
+	}
+	idx := &Index{
+		opts:  opts,
+		keys:  make([]string, 0, len(records)),
+		sizes: make([]int, 0, len(records)),
+		parts: make([]part, len(parts)),
+		opt:   tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax),
+	}
+	for i, p := range parts {
+		idx.parts[i] = part{
+			lower:  p.Lower,
+			upper:  p.Upper,
+			forest: lshforest.New(opts.NumHash, opts.RMax),
+		}
+	}
+	for _, r := range records {
+		idx.add(r)
+	}
+	idx.Reindex()
+	return idx, nil
+}
+
+// add routes a record to its partition without reindexing.
+func (x *Index) add(r Record) {
+	id := uint32(len(x.keys))
+	x.keys = append(x.keys, r.Key)
+	x.sizes = append(x.sizes, r.Size)
+	x.sigs = append(x.sigs, r.Sig)
+	p := x.route(r.Size)
+	p.forest.Add(id, r.Sig)
+	x.dirty = true
+}
+
+// route finds the partition responsible for a domain of the given size.
+// Sizes beyond the last upper bound extend the last partition (its upper
+// bound grows, keeping the conversion conservative).
+func (x *Index) route(size int) *part {
+	i := sort.Search(len(x.parts), func(i int) bool { return size <= x.parts[i].upper })
+	if i == len(x.parts) {
+		last := &x.parts[len(x.parts)-1]
+		last.upper = size
+		return last
+	}
+	p := &x.parts[i]
+	if size < p.lower {
+		p.lower = size
+	}
+	return p
+}
+
+// Add inserts a new domain into the ensemble after Build — the dynamic-data
+// path of Section 6.2. The record joins the partition covering its size
+// (the boundary intervals stretch if needed; the partitioning is NOT
+// re-optimized — see examples/dynamic for drift monitoring). Call Reindex
+// before the next Query.
+func (x *Index) Add(r Record) error {
+	if r.Size <= 0 {
+		return fmt.Errorf("core: non-positive size %d", r.Size)
+	}
+	if len(r.Sig) < x.opts.NumHash {
+		return fmt.Errorf("core: signature length %d < NumHash %d", len(r.Sig), x.opts.NumHash)
+	}
+	x.add(r)
+	return nil
+}
+
+// Reindex rebuilds the partition forests after Add calls. Partitions are
+// rebuilt concurrently. It is a no-op when nothing changed.
+func (x *Index) Reindex() {
+	if !x.dirty {
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range x.parts {
+		f := x.parts[i].forest
+		if f.Indexed() {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			f.Index()
+			<-sem
+		}()
+	}
+	wg.Wait()
+	x.dirty = false
+}
+
+// Len returns the number of indexed domains.
+func (x *Index) Len() int { return len(x.keys) }
+
+// NumPartitions returns the number of partitions actually built (may be
+// fewer than requested when there are few distinct sizes).
+func (x *Index) NumPartitions() int { return len(x.parts) }
+
+// Options returns the effective build options.
+func (x *Index) Options() Options { return x.opts }
+
+// Key returns the key of the domain with the given internal id.
+func (x *Index) Key(id uint32) string { return x.keys[id] }
+
+// Size returns the exact cardinality of the domain with the given id.
+func (x *Index) Size(id uint32) int { return x.sizes[id] }
+
+// PartitionBounds returns the (lower, upper, count) of each partition, for
+// inspection and experiments.
+func (x *Index) PartitionBounds() []partition.Partition {
+	out := make([]partition.Partition, len(x.parts))
+	for i, p := range x.parts {
+		out[i] = partition.Partition{Lower: p.lower, Upper: p.upper, Count: p.forest.Len()}
+	}
+	return out
+}
+
+// QueryIDs runs Partitioned-Containment-Search and returns the internal
+// ids of all candidate domains: those whose signature collides with the
+// query under each partition's tuned (b, r). querySize is |Q| (use the
+// exact size when known, or minhash.Signature.Cardinality's estimate —
+// Algorithm 1's approx(|Q|)). tStar is the containment threshold t*.
+func (x *Index) QueryIDs(sig minhash.Signature, querySize int, tStar float64) []uint32 {
+	if x.dirty {
+		panic("core: Query after Add without Reindex")
+	}
+	if querySize <= 0 || len(x.keys) == 0 {
+		return nil
+	}
+	if tStar < 0 {
+		tStar = 0
+	}
+	if tStar > 1 {
+		tStar = 1
+	}
+	q := float64(querySize)
+	if x.opts.Sequential || len(x.parts) == 1 {
+		var out []uint32
+		seen := make(map[uint32]struct{})
+		for i := range x.parts {
+			out = x.queryPart(&x.parts[i], sig, q, tStar, seen, out)
+		}
+		return out
+	}
+	// Concurrent per-partition probing; results are unioned. Partitions are
+	// disjoint by construction so cross-partition dedup is unnecessary.
+	results := make([][]uint32, len(x.parts))
+	var wg sync.WaitGroup
+	for i := range x.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = x.queryPart(&x.parts[i], sig, q, tStar, make(map[uint32]struct{}), nil)
+		}(i)
+	}
+	wg.Wait()
+	var out []uint32
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// queryPart probes one partition with its tuned configuration.
+func (x *Index) queryPart(p *part, sig minhash.Signature, q, tStar float64,
+	seen map[uint32]struct{}, out []uint32) []uint32 {
+	if p.forest.Len() == 0 {
+		return out
+	}
+	u := float64(p.upper)
+	// No domain in this partition can reach the threshold when u/q < t*:
+	// containment is at most x/q ≤ u/q.
+	if tStar > 0 && u/q < tStar {
+		return out
+	}
+	params := x.opt.Optimize(u, q, tStar)
+	p.forest.QueryDedup(sig, params.B, params.R, seen, func(id uint32) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Query returns the keys of all candidate domains for the query signature.
+// See QueryIDs for parameter semantics.
+func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
+	ids := x.QueryIDs(sig, querySize, tStar)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = x.keys[id]
+	}
+	return out
+}
+
+// --- serialization ---
+
+var indexMagic = [4]byte{'L', 'S', 'H', 'E'}
+
+// ErrCorrupt reports a malformed index encoding.
+var ErrCorrupt = errors.New("core: corrupt index encoding")
+
+// AppendBinary appends the index's binary encoding to buf. The tuning cache
+// is not persisted (it is rebuilt lazily at query time).
+func (x *Index) AppendBinary(buf []byte) []byte {
+	buf = append(buf, indexMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumHash))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.RMax))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumPartitions))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.keys)))
+	for i, k := range x.keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x.sizes[i]))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.parts)))
+	for i := range x.parts {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x.parts[i].lower))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(x.parts[i].upper))
+		buf = x.parts[i].forest.AppendBinary(buf)
+	}
+	return buf
+}
+
+// Decode reconstructs an index from buf (produced by AppendBinary) and
+// returns any trailing bytes.
+func Decode(buf []byte) (*Index, []byte, error) {
+	if len(buf) < 20 || [4]byte(buf[:4]) != indexMagic {
+		return nil, buf, ErrCorrupt
+	}
+	numHash := int(binary.LittleEndian.Uint32(buf[4:]))
+	rMax := int(binary.LittleEndian.Uint32(buf[8:]))
+	nParts := int(binary.LittleEndian.Uint32(buf[12:]))
+	nKeys := int(binary.LittleEndian.Uint32(buf[16:]))
+	buf = buf[20:]
+	opts := Options{NumHash: numHash, RMax: rMax, NumPartitions: nParts}.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, buf, ErrCorrupt
+	}
+	x := &Index{
+		opts: opts,
+		opt:  tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax),
+	}
+	for i := 0; i < nKeys; i++ {
+		if len(buf) < 4 {
+			return nil, buf, ErrCorrupt
+		}
+		kl := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < kl+8 {
+			return nil, buf, ErrCorrupt
+		}
+		x.keys = append(x.keys, string(buf[:kl]))
+		buf = buf[kl:]
+		x.sizes = append(x.sizes, int(binary.LittleEndian.Uint64(buf)))
+		buf = buf[8:]
+	}
+	if len(buf) < 4 {
+		return nil, buf, ErrCorrupt
+	}
+	np := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	for i := 0; i < np; i++ {
+		if len(buf) < 16 {
+			return nil, buf, ErrCorrupt
+		}
+		lower := int(binary.LittleEndian.Uint64(buf))
+		upper := int(binary.LittleEndian.Uint64(buf[8:]))
+		buf = buf[16:]
+		f, rest, err := lshforest.DecodeForest(buf)
+		if err != nil {
+			return nil, rest, err
+		}
+		buf = rest
+		x.parts = append(x.parts, part{lower: lower, upper: upper, forest: f})
+	}
+	// Rebuild the id → signature table from the forests (each id lives in
+	// exactly one partition).
+	x.sigs = make([]minhash.Signature, len(x.keys))
+	for i := range x.parts {
+		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
+			if int(id) < len(x.sigs) {
+				x.sigs[id] = sig
+			}
+		})
+	}
+	for i, s := range x.sigs {
+		if s == nil {
+			return nil, buf, fmt.Errorf("core: decoded index missing signature for id %d: %w", i, ErrCorrupt)
+		}
+	}
+	return x, buf, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"lshensemble/internal/minhash"
+)
+
+// TopKResult is one ranked answer of QueryTopK.
+type TopKResult struct {
+	Key string
+	// EstContainment is the containment score estimated from the MinHash
+	// signatures (paper Eq. 6 applied to the Jaccard estimate). It ranks
+	// candidates; callers needing exact scores should verify against the
+	// raw domains.
+	EstContainment float64
+}
+
+// topKThresholds is the descending threshold ladder QueryTopK walks. The
+// ladder trades probe count against over-retrieval; 0.05 matches the
+// paper's experimental threshold granularity.
+var topKThresholds = func() []float64 {
+	var ts []float64
+	for t := 1.0; t > 0.04; t -= 0.05 {
+		ts = append(ts, t)
+	}
+	return ts
+}()
+
+// QueryTopK returns (up to) k domains ranked by estimated containment of
+// the query — the top-k formulation the paper's Section 2 describes as
+// complementary to threshold search. It walks a descending threshold
+// ladder, collecting candidates until at least k are found (or the ladder
+// is exhausted), then ranks them by signature-estimated containment.
+// Results are approximate in the same sense as Query: candidates come from
+// LSH collisions and scores from sketches.
+func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []TopKResult {
+	if k <= 0 || querySize <= 0 {
+		return nil
+	}
+	seen := make(map[uint32]struct{})
+	for _, tStar := range topKThresholds {
+		for _, id := range x.QueryIDs(sig, querySize, tStar) {
+			seen[id] = struct{}{}
+		}
+		if len(seen) >= k {
+			break
+		}
+	}
+	results := make([]TopKResult, 0, len(seen))
+	for id := range seen {
+		est := sig.Containment(x.sigOf(id), float64(querySize), float64(x.sizes[id]))
+		results = append(results, TopKResult{Key: x.keys[id], EstContainment: est})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].EstContainment != results[j].EstContainment {
+			return results[i].EstContainment > results[j].EstContainment
+		}
+		return results[i].Key < results[j].Key
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// sigOf returns the stored signature of an indexed domain.
+func (x *Index) sigOf(id uint32) minhash.Signature {
+	return x.sigs[id]
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"lshensemble/internal/minhash"
+)
+
+// topKFixture builds nested prefix domains: domain i holds values
+// [0, 20·(i+1)), so for a query of the first 20 values every domain fully
+// contains it, while reversed queries rank larger domains lower.
+func topKFixture(t testing.TB, numHash int) (*Index, *minhash.Hasher, [][]uint64) {
+	t.Helper()
+	h := minhash.NewHasher(numHash, 5)
+	var recs []Record
+	var vals [][]uint64
+	for i := 0; i < 20; i++ {
+		n := 20 * (i + 1)
+		v := make([]uint64, n)
+		hv := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			v[j] = uint64(j)
+			hv[j] = minhash.HashUint64(uint64(j))
+		}
+		vals = append(vals, v)
+		recs = append(recs, Record{Key: key(i), Size: n, Sig: h.Sketch(hv)})
+	}
+	idx, err := Build(recs, Options{NumHash: numHash, RMax: 8, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, h, vals
+}
+
+func key(i int) string { return string(rune('a' + i)) }
+
+func TestQueryTopKRanksBySizeOnNestedPrefixes(t *testing.T) {
+	idx, h, _ := topKFixture(t, 256)
+	// Query = domain 5's values [0, 120): it is fully contained in domains
+	// 5..19 (est. containment ~1) and partially in 0..4. Top-1 should have
+	// estimated containment near 1.
+	q := make([]uint64, 120)
+	for j := range q {
+		q[j] = minhash.HashUint64(uint64(j))
+	}
+	sig := h.Sketch(q)
+	top := idx.QueryTopK(sig, 120, 5)
+	if len(top) != 5 {
+		t.Fatalf("got %d results, want 5", len(top))
+	}
+	if top[0].EstContainment < 0.9 {
+		t.Fatalf("top result containment %v, want ~1", top[0].EstContainment)
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(top); i++ {
+		if top[i].EstContainment > top[i-1].EstContainment+1e-12 {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+}
+
+func TestQueryTopKSelfFirst(t *testing.T) {
+	idx, _, _ := topKFixture(t, 256)
+	// Query with domain 19 (largest): only supersets of it are itself.
+	sig := idx.sigOf(19)
+	top := idx.QueryTopK(sig, idx.Size(19), 3)
+	if len(top) == 0 || top[0].Key != key(19) {
+		t.Fatalf("self not ranked first: %+v", top)
+	}
+	if top[0].EstContainment < 0.99 {
+		t.Fatalf("self containment %v", top[0].EstContainment)
+	}
+}
+
+func TestQueryTopKEdgeCases(t *testing.T) {
+	idx, h, _ := topKFixture(t, 256)
+	sig := h.Sketch([]uint64{minhash.HashUint64(7)})
+	if got := idx.QueryTopK(sig, 1, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := idx.QueryTopK(sig, 0, 5); got != nil {
+		t.Fatal("querySize=0 should return nil")
+	}
+	// k larger than corpus: returns at most corpus size, no panic.
+	full := idx.QueryTopK(idx.sigOf(0), idx.Size(0), 1000)
+	if len(full) > idx.Len() {
+		t.Fatalf("returned %d > corpus %d", len(full), idx.Len())
+	}
+}
+
+func TestQueryTopKSurvivesSerialization(t *testing.T) {
+	idx, _, _ := topKFixture(t, 128)
+	buf := idx.AppendBinary(nil)
+	loaded, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := idx.QueryTopK(idx.sigOf(3), idx.Size(3), 4)
+	b := loaded.QueryTopK(loaded.sigOf(3), loaded.Size(3), 4)
+	if len(a) != len(b) {
+		t.Fatalf("topk differs after decode: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("topk order differs at %d: %s vs %s", i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+func TestQueryTopKAfterAdd(t *testing.T) {
+	idx, h, _ := topKFixture(t, 128)
+	n := 500
+	v := make([]uint64, n)
+	for j := range v {
+		v[j] = minhash.HashUint64(uint64(j))
+	}
+	rec := Record{Key: "added", Size: n, Sig: h.Sketch(v)}
+	if err := idx.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	idx.Reindex()
+	top := idx.QueryTopK(rec.Sig, n, 1)
+	if len(top) != 1 || top[0].Key != "added" {
+		t.Fatalf("added record not top-1 for itself: %+v", top)
+	}
+}

@@ -1,0 +1,108 @@
+// Package eval implements the paper's accuracy metrics (Section 6.1,
+// Eq. 27–28): set-overlap precision and recall against exact ground truth,
+// the Fβ score, and a batch averager that applies the paper's conventions
+// for empty results ("we consider an empty result having precision equal to
+// 1.0, however, we exclude such results when computing average precisions").
+package eval
+
+// PR computes precision and recall of a result set against the ground
+// truth. emptyResult reports whether the result set was empty (the caller's
+// averager may exclude its precision). Conventions:
+//   - empty result: precision 1.0 (flagged), recall 0 unless truth is also
+//     empty, in which case recall 1.0;
+//   - empty truth, non-empty result: precision 0, recall 1.0.
+func PR(result []string, truth map[string]bool) (precision, recall float64, emptyResult bool) {
+	if len(result) == 0 {
+		if len(truth) == 0 {
+			return 1, 1, true
+		}
+		return 1, 0, true
+	}
+	tp := 0
+	seen := make(map[string]struct{}, len(result))
+	for _, k := range result {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		if truth[k] {
+			tp++
+		}
+	}
+	precision = float64(tp) / float64(len(seen))
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		recall = float64(tp) / float64(len(truth))
+	}
+	return precision, recall, false
+}
+
+// FBeta is the Fβ score (paper Eq. 28). Returns 0 when both inputs are 0.
+func FBeta(beta, precision, recall float64) float64 {
+	b2 := beta * beta
+	den := b2*precision + recall
+	if den == 0 {
+		return 0
+	}
+	return (1 + b2) * precision * recall / den
+}
+
+// Averager accumulates per-query precision/recall with the paper's
+// empty-result convention and reports batch averages.
+type Averager struct {
+	sumP, sumR   float64
+	nP, nR       int
+	totalQueries int
+	emptyResults int
+}
+
+// Add records one query's metrics. Empty-result precisions are excluded
+// from the precision average; recall always counts.
+func (a *Averager) Add(precision, recall float64, emptyResult bool) {
+	a.totalQueries++
+	if emptyResult {
+		a.emptyResults++
+	} else {
+		a.sumP += precision
+		a.nP++
+	}
+	a.sumR += recall
+	a.nR++
+}
+
+// Precision returns the average precision over non-empty results; 1.0 when
+// every result was empty (vacuous precision, per the paper's convention).
+func (a *Averager) Precision() float64 {
+	if a.nP == 0 {
+		return 1
+	}
+	return a.sumP / float64(a.nP)
+}
+
+// Recall returns the average recall over all queries (0 when none added).
+func (a *Averager) Recall() float64 {
+	if a.nR == 0 {
+		return 0
+	}
+	return a.sumR / float64(a.nR)
+}
+
+// F1 returns the F1 score of the averaged precision and recall.
+func (a *Averager) F1() float64 { return FBeta(1, a.Precision(), a.Recall()) }
+
+// F05 returns the precision-biased F0.5 score of the averages.
+func (a *Averager) F05() float64 { return FBeta(0.5, a.Precision(), a.Recall()) }
+
+// EmptyFraction returns the fraction of queries with empty results — the
+// quantity the paper reports for Asymmetric Minwise Hashing ("around 80% of
+// query results are empty for thresholds up to 0.7").
+func (a *Averager) EmptyFraction() float64 {
+	if a.totalQueries == 0 {
+		return 0
+	}
+	return float64(a.emptyResults) / float64(a.totalQueries)
+}
+
+// Queries returns the number of queries accumulated.
+func (a *Averager) Queries() int { return a.totalQueries }

@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func truthSet(keys ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func TestPRBasic(t *testing.T) {
+	p, r, empty := PR([]string{"a", "b", "c", "d"}, truthSet("a", "b", "e"))
+	if empty {
+		t.Fatal("non-empty flagged empty")
+	}
+	if p != 0.5 {
+		t.Fatalf("precision = %v, want 0.5", p)
+	}
+	if math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v, want 2/3", r)
+	}
+}
+
+func TestPRPerfect(t *testing.T) {
+	p, r, _ := PR([]string{"a", "b"}, truthSet("a", "b"))
+	if p != 1 || r != 1 {
+		t.Fatalf("perfect result: p=%v r=%v", p, r)
+	}
+}
+
+func TestPREmptyResult(t *testing.T) {
+	p, r, empty := PR(nil, truthSet("a"))
+	if !empty || p != 1 || r != 0 {
+		t.Fatalf("empty result vs non-empty truth: p=%v r=%v empty=%v", p, r, empty)
+	}
+	p, r, empty = PR(nil, nil)
+	if !empty || p != 1 || r != 1 {
+		t.Fatalf("empty vs empty: p=%v r=%v empty=%v", p, r, empty)
+	}
+}
+
+func TestPREmptyTruth(t *testing.T) {
+	p, r, empty := PR([]string{"a"}, nil)
+	if empty || p != 0 || r != 1 {
+		t.Fatalf("non-empty result vs empty truth: p=%v r=%v empty=%v", p, r, empty)
+	}
+}
+
+func TestPRDuplicateResults(t *testing.T) {
+	// Duplicate keys in the result must not double count.
+	p, r, _ := PR([]string{"a", "a", "b"}, truthSet("a"))
+	if p != 0.5 || r != 1 {
+		t.Fatalf("dup handling: p=%v r=%v", p, r)
+	}
+}
+
+func TestPRBounds(t *testing.T) {
+	f := func(result []string, truthKeys []string) bool {
+		truth := truthSet(truthKeys...)
+		p, r, _ := PR(result, truth)
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFBeta(t *testing.T) {
+	// F1 of (0.5, 0.5) = 0.5.
+	if got := FBeta(1, 0.5, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v", got)
+	}
+	// F1 is the harmonic mean: (2·p·r)/(p+r).
+	if got := FBeta(1, 1, 0.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("F1(1,0.5) = %v, want 2/3", got)
+	}
+	if got := FBeta(1, 0, 0); got != 0 {
+		t.Fatalf("F1(0,0) = %v, want 0", got)
+	}
+	// F0.5 weighs precision more: with p > r it exceeds F1.
+	if FBeta(0.5, 0.9, 0.3) <= FBeta(1, 0.9, 0.3) {
+		t.Fatal("F0.5 should exceed F1 when precision > recall")
+	}
+	// Matches the expanded formula.
+	p, r, b := 0.7, 0.4, 0.5
+	want := (1 + b*b) * p * r / (b*b*p + r)
+	if got := FBeta(b, p, r); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FBeta = %v, want %v", got, want)
+	}
+}
+
+func TestAveragerConventions(t *testing.T) {
+	var a Averager
+	a.Add(0.5, 1.0, false)
+	a.Add(1.0, 0.0, true) // empty: precision excluded, recall counted
+	a.Add(1.0, 0.5, false)
+	if got := a.Precision(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("avg precision = %v, want 0.75 (empty excluded)", got)
+	}
+	if got := a.Recall(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("avg recall = %v, want 0.5", got)
+	}
+	if got := a.EmptyFraction(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("empty fraction = %v, want 1/3", got)
+	}
+	if a.Queries() != 3 {
+		t.Fatalf("queries = %d", a.Queries())
+	}
+}
+
+func TestAveragerAllEmpty(t *testing.T) {
+	var a Averager
+	a.Add(1, 0, true)
+	a.Add(1, 0, true)
+	if got := a.Precision(); got != 1 {
+		t.Fatalf("all-empty precision = %v, want 1 (vacuous)", got)
+	}
+	if got := a.EmptyFraction(); got != 1 {
+		t.Fatalf("empty fraction = %v", got)
+	}
+}
+
+func TestAveragerZero(t *testing.T) {
+	var a Averager
+	if a.Precision() != 1 || a.Recall() != 0 || a.EmptyFraction() != 0 {
+		t.Fatal("zero-value averager wrong")
+	}
+}
+
+func TestAveragerFScores(t *testing.T) {
+	var a Averager
+	a.Add(0.8, 0.6, false)
+	if got, want := a.F1(), FBeta(1, 0.8, 0.6); got != want {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+	if got, want := a.F05(), FBeta(0.5, 0.8, 0.6); got != want {
+		t.Fatalf("F05 = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,105 @@
+// Package exact computes exact set-containment scores with an inverted
+// index. It provides the ground truth T_{Q,t*,D} for the accuracy
+// experiments (paper Section 6.1) and an oracle for tests. Domains are sets
+// of 64-bit value identifiers; for string data, hash values first with
+// minhash.HashString so the exact engine and the sketches agree on value
+// identity (collisions in a 61-bit space are negligible at our scales).
+package exact
+
+import "sort"
+
+// Domain is a named set of value identifiers. Values need not be sorted or
+// deduplicated; Build deduplicates.
+type Domain struct {
+	Key    string
+	Values []uint64
+}
+
+// Engine answers exact containment queries over a fixed corpus.
+type Engine struct {
+	keys     []string
+	sizes    []int
+	postings map[uint64][]uint32
+}
+
+// Build constructs the inverted index over the domains.
+func Build(domains []Domain) *Engine {
+	e := &Engine{postings: make(map[uint64][]uint32)}
+	for _, d := range domains {
+		id := uint32(len(e.keys))
+		e.keys = append(e.keys, d.Key)
+		n := 0
+		seen := make(map[uint64]struct{}, len(d.Values))
+		for _, v := range d.Values {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			e.postings[v] = append(e.postings[v], id)
+			n++
+		}
+		e.sizes = append(e.sizes, n)
+	}
+	return e
+}
+
+// Len returns the number of indexed domains.
+func (e *Engine) Len() int { return len(e.keys) }
+
+// Key returns the key for an internal id.
+func (e *Engine) Key(id uint32) string { return e.keys[id] }
+
+// Size returns the deduplicated cardinality of a domain.
+func (e *Engine) Size(id uint32) int { return e.sizes[id] }
+
+// Scores returns the exact containment score t(Q, X) = |Q∩X|/|Q| for every
+// indexed domain X with at least one overlapping value. Duplicates in the
+// query are ignored (domains are sets).
+func (e *Engine) Scores(query []uint64) map[uint32]float64 {
+	counts := make(map[uint32]int)
+	qn := 0
+	seen := make(map[uint64]struct{}, len(query))
+	for _, v := range query {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		qn++
+		for _, id := range e.postings[v] {
+			counts[id]++
+		}
+	}
+	if qn == 0 {
+		return nil
+	}
+	scores := make(map[uint32]float64, len(counts))
+	for id, c := range counts {
+		scores[id] = float64(c) / float64(qn)
+	}
+	return scores
+}
+
+// Query returns the keys of all domains whose containment of the query
+// meets tStar, sorted for determinism.
+func (e *Engine) Query(query []uint64, tStar float64) []string {
+	var out []string
+	for id, s := range e.Scores(query) {
+		if s >= tStar {
+			out = append(out, e.keys[id])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Truth returns the ground-truth set as a membership map — the form the
+// evaluation package consumes.
+func (e *Engine) Truth(query []uint64, tStar float64) map[string]bool {
+	truth := make(map[string]bool)
+	for id, s := range e.Scores(query) {
+		if s >= tStar {
+			truth[e.keys[id]] = true
+		}
+	}
+	return truth
+}

@@ -1,0 +1,149 @@
+package exact
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lshensemble/internal/xrand"
+)
+
+func TestScoresKnown(t *testing.T) {
+	e := Build([]Domain{
+		{Key: "x", Values: []uint64{1, 2, 3, 4}},
+		{Key: "y", Values: []uint64{3, 4, 5}},
+		{Key: "z", Values: []uint64{100}},
+	})
+	scores := e.Scores([]uint64{1, 2, 3, 4}) // the "x" domain as query
+	if got := scores[0]; got != 1.0 {
+		t.Fatalf("t(Q, x) = %v, want 1", got)
+	}
+	if got := scores[1]; got != 0.5 {
+		t.Fatalf("t(Q, y) = %v, want 0.5", got)
+	}
+	if _, ok := scores[2]; ok {
+		t.Fatal("z has no overlap, should be absent")
+	}
+}
+
+func TestQueryThreshold(t *testing.T) {
+	e := Build([]Domain{
+		{Key: "x", Values: []uint64{1, 2, 3, 4}},
+		{Key: "y", Values: []uint64{3, 4, 5}},
+	})
+	got := e.Query([]uint64{1, 2, 3, 4}, 0.6)
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Query = %v, want [x]", got)
+	}
+	got = e.Query([]uint64{1, 2, 3, 4}, 0.5)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("Query = %v, want [x y]", got)
+	}
+}
+
+func TestDuplicateValuesIgnored(t *testing.T) {
+	e := Build([]Domain{{Key: "x", Values: []uint64{1, 1, 2, 2}}})
+	if e.Size(0) != 2 {
+		t.Fatalf("dedup size = %d, want 2", e.Size(0))
+	}
+	scores := e.Scores([]uint64{1, 1, 3, 3})
+	// Query dedups to {1, 3}; overlap {1} → 0.5.
+	if got := scores[0]; got != 0.5 {
+		t.Fatalf("score = %v, want 0.5", got)
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	e := Build([]Domain{{Key: "x", Values: []uint64{1}}})
+	if s := e.Scores(nil); s != nil {
+		t.Fatal("empty query should give nil scores")
+	}
+	if got := e.Query(nil, 0.5); len(got) != 0 {
+		t.Fatal("empty query should match nothing")
+	}
+}
+
+func TestTruthMatchesQuery(t *testing.T) {
+	e := Build([]Domain{
+		{Key: "x", Values: []uint64{1, 2}},
+		{Key: "y", Values: []uint64{2, 3}},
+	})
+	q := []uint64{2}
+	truth := e.Truth(q, 1.0)
+	res := e.Query(q, 1.0)
+	if len(truth) != len(res) {
+		t.Fatalf("truth %v vs query %v", truth, res)
+	}
+	for _, k := range res {
+		if !truth[k] {
+			t.Fatalf("%s in Query but not Truth", k)
+		}
+	}
+}
+
+// naiveContainment is the O(|Q|·|X|) oracle the engine must agree with.
+func naiveContainment(q, x []uint64) float64 {
+	qs := map[uint64]struct{}{}
+	for _, v := range q {
+		qs[v] = struct{}{}
+	}
+	xs := map[uint64]struct{}{}
+	for _, v := range x {
+		xs[v] = struct{}{}
+	}
+	hit := 0
+	for v := range qs {
+		if _, ok := xs[v]; ok {
+			hit++
+		}
+	}
+	if len(qs) == 0 {
+		return 0
+	}
+	return float64(hit) / float64(len(qs))
+}
+
+func TestAgainstNaiveOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nd := 2 + rng.Intn(20)
+		domains := make([]Domain, nd)
+		for i := range domains {
+			n := 1 + rng.Intn(30)
+			vals := make([]uint64, n)
+			for j := range vals {
+				vals[j] = uint64(rng.Intn(40)) // small universe → overlaps
+			}
+			domains[i] = Domain{Key: string(rune('a' + i)), Values: vals}
+		}
+		e := Build(domains)
+		q := make([]uint64, 1+rng.Intn(20))
+		for j := range q {
+			q[j] = uint64(rng.Intn(40))
+		}
+		scores := e.Scores(q)
+		for i, d := range domains {
+			want := naiveContainment(q, d.Values)
+			got := scores[uint32(i)]
+			if math.Abs(got-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenAndAccessors(t *testing.T) {
+	e := Build([]Domain{{Key: "a", Values: []uint64{1}}, {Key: "b", Values: []uint64{2, 3}}})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if e.Key(1) != "b" || e.Size(1) != 2 {
+		t.Fatal("accessors wrong")
+	}
+}

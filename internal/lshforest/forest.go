@@ -1,0 +1,240 @@
+// Package lshforest implements a dynamic MinHash LSH index in the style of
+// LSH Forest (Bawa, Condie, Ganesan, WWW 2005).
+//
+// A classic MinHash LSH has a fixed banding configuration (b bands of r hash
+// values each) and therefore a fixed Jaccard threshold. LSH Ensemble needs a
+// per-query threshold, so the index must support choosing (b, r) at query
+// time. Following the LSH Forest idea, the signature is divided into bMax
+// fixed "trees", each covering rMax consecutive hash values; a query probes
+// the first b trees and, within each tree, matches only the first r of its
+// rMax values. Prefix trees are realized as arrays sorted lexicographically
+// by the tree's hash-value vector, so a variable-depth prefix probe is a
+// binary-searched range scan. This supports any (b, r) with b ≤ bMax and
+// r ≤ rMax, hence b·r ≤ bMax·rMax ≤ m as required by the paper's tuning
+// constraint (Eq. 25).
+package lshforest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Forest is a dynamic-(b,r) MinHash LSH index over integer domain ids.
+// Ids are assigned by the caller; signatures must all have the same length,
+// at least BMax()*RMax(). Add entries, call Index once, then Query.
+type Forest struct {
+	numHash int
+	rMax    int
+	bMax    int
+
+	sigs  [][]uint64 // signature per inserted entry, indexed by slot
+	ids   []uint32   // caller-assigned id per inserted entry
+	trees [][]uint32 // per tree: slot indices sorted by that tree's hash vector
+
+	indexed bool
+}
+
+// New constructs a forest for signatures of numHash values with trees of
+// depth rMax. The number of trees is numHash/rMax (integer division); rMax
+// must be in [1, numHash].
+func New(numHash, rMax int) *Forest {
+	if numHash <= 0 {
+		panic("lshforest: numHash must be positive")
+	}
+	if rMax <= 0 || rMax > numHash {
+		panic(fmt.Sprintf("lshforest: rMax %d out of range [1, %d]", rMax, numHash))
+	}
+	return &Forest{
+		numHash: numHash,
+		rMax:    rMax,
+		bMax:    numHash / rMax,
+	}
+}
+
+// NumHash returns the signature length the forest expects.
+func (f *Forest) NumHash() int { return f.numHash }
+
+// RMax returns the tree depth (maximum r usable at query time).
+func (f *Forest) RMax() int { return f.rMax }
+
+// BMax returns the number of trees (maximum b usable at query time).
+func (f *Forest) BMax() int { return f.bMax }
+
+// Len returns the number of entries added.
+func (f *Forest) Len() int { return len(f.ids) }
+
+// Indexed reports whether Index has been called since the last Add.
+func (f *Forest) Indexed() bool { return f.indexed }
+
+// Add inserts a (id, signature) pair. The signature is retained by
+// reference; callers must not mutate it afterwards. Add invalidates the
+// index; call Index before querying again.
+func (f *Forest) Add(id uint32, sig []uint64) {
+	if len(sig) < f.bMax*f.rMax {
+		panic(fmt.Sprintf("lshforest: signature length %d < required %d", len(sig), f.bMax*f.rMax))
+	}
+	f.sigs = append(f.sigs, sig)
+	f.ids = append(f.ids, id)
+	f.indexed = false
+}
+
+// Index (re)builds the sorted trees. It is idempotent and must be called
+// after the last Add and before the first Query.
+func (f *Forest) Index() {
+	n := len(f.sigs)
+	if f.trees == nil {
+		f.trees = make([][]uint32, f.bMax)
+	}
+	for t := 0; t < f.bMax; t++ {
+		off := t * f.rMax
+		order := make([]uint32, n)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			sa := f.sigs[order[a]][off : off+f.rMax]
+			sb := f.sigs[order[b]][off : off+f.rMax]
+			for k := 0; k < f.rMax; k++ {
+				if sa[k] != sb[k] {
+					return sa[k] < sb[k]
+				}
+			}
+			return false
+		})
+		f.trees[t] = order
+	}
+	f.indexed = true
+}
+
+// compareAt compares entry slot's tree-t hash vector prefix of length r
+// against the query prefix. Returns -1, 0, or 1.
+func (f *Forest) compareAt(slot uint32, off, r int, q []uint64) int {
+	s := f.sigs[slot][off : off+r]
+	for k := 0; k < r; k++ {
+		if s[k] != q[k] {
+			if s[k] < q[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Query probes the first b trees at depth r and invokes fn once per
+// *occurrence* of a matching entry (the same id may be reported from
+// multiple trees; use QueryDedup for set semantics). fn returning false
+// stops the scan early. It panics if the forest is not indexed or if (b, r)
+// is out of range.
+func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
+	if !f.indexed {
+		panic("lshforest: Query before Index")
+	}
+	if b <= 0 || b > f.bMax {
+		panic(fmt.Sprintf("lshforest: b %d out of range [1, %d]", b, f.bMax))
+	}
+	if r <= 0 || r > f.rMax {
+		panic(fmt.Sprintf("lshforest: r %d out of range [1, %d]", r, f.rMax))
+	}
+	for t := 0; t < b; t++ {
+		off := t * f.rMax
+		q := sig[off : off+r]
+		order := f.trees[t]
+		// Lower bound: first entry with prefix >= q.
+		lo := sort.Search(len(order), func(i int) bool {
+			return f.compareAt(order[i], off, r, q) >= 0
+		})
+		for i := lo; i < len(order); i++ {
+			if f.compareAt(order[i], off, r, q) != 0 {
+				break
+			}
+			if !fn(f.ids[order[i]]) {
+				return
+			}
+		}
+	}
+}
+
+// Each invokes fn for every (id, signature) pair stored in the forest, in
+// insertion order. The signature must not be mutated.
+func (f *Forest) Each(fn func(id uint32, sig []uint64)) {
+	for i, id := range f.ids {
+		fn(id, f.sigs[i])
+	}
+}
+
+// QueryDedup probes like Query but reports each matching id exactly once.
+// The seen scratch map may be nil; passing a reused map avoids allocation.
+func (f *Forest) QueryDedup(sig []uint64, b, r int, seen map[uint32]struct{}, fn func(id uint32) bool) {
+	if seen == nil {
+		seen = make(map[uint32]struct{})
+	}
+	f.Query(sig, b, r, func(id uint32) bool {
+		if _, ok := seen[id]; ok {
+			return true
+		}
+		seen[id] = struct{}{}
+		return fn(id)
+	})
+}
+
+// binary serialization format:
+//   magic "LSHF" | numHash | rMax | n | per entry: id, sig[numHash]
+// Trees are rebuilt on load (sorting is cheaper than storing permutations).
+
+var forestMagic = [4]byte{'L', 'S', 'H', 'F'}
+
+// ErrCorrupt reports a malformed forest encoding.
+var ErrCorrupt = errors.New("lshforest: corrupt encoding")
+
+// AppendBinary appends the forest's binary encoding to buf.
+func (f *Forest) AppendBinary(buf []byte) []byte {
+	buf = append(buf, forestMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.numHash))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.rMax))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.ids)))
+	for i, id := range f.ids {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+		for _, v := range f.sigs[i][:f.numHash] {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeForest decodes a forest from the front of buf, rebuilds its trees,
+// and returns the remaining bytes.
+func DecodeForest(buf []byte) (*Forest, []byte, error) {
+	if len(buf) < 16 {
+		return nil, buf, ErrCorrupt
+	}
+	if [4]byte(buf[:4]) != forestMagic {
+		return nil, buf, ErrCorrupt
+	}
+	numHash := int(binary.LittleEndian.Uint32(buf[4:]))
+	rMax := int(binary.LittleEndian.Uint32(buf[8:]))
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	buf = buf[16:]
+	if numHash <= 0 || rMax <= 0 || rMax > numHash || n < 0 {
+		return nil, buf, ErrCorrupt
+	}
+	need := n * (4 + 8*numHash)
+	if len(buf) < need {
+		return nil, buf, ErrCorrupt
+	}
+	f := New(numHash, rMax)
+	for i := 0; i < n; i++ {
+		id := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		sig := make([]uint64, numHash)
+		for k := range sig {
+			sig[k] = binary.LittleEndian.Uint64(buf)
+			buf = buf[8:]
+		}
+		f.Add(id, sig)
+	}
+	f.Index()
+	return f, buf, nil
+}

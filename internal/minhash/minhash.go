@@ -1,0 +1,293 @@
+// Package minhash implements minwise hashing (Broder 1997) for estimating
+// Jaccard similarity and set cardinality from fixed-size signatures.
+//
+// A domain (a set of values) is summarized by a Signature of m 64-bit
+// values, where the i-th slot holds the minimum of the i-th hash permutation
+// over the domain. Two signatures produced by the same Hasher can estimate
+// the Jaccard similarity of the underlying domains as the fraction of
+// agreeing slots (Broder's collision probability identity, paper Eq. 4), and
+// a single signature estimates the domain cardinality from the mean of its
+// normalized minima (Cohen & Kaplan, bottom-k style).
+package minhash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"lshensemble/internal/xrand"
+)
+
+// MersennePrime is 2^61 - 1, the modulus of the universal hash family used
+// for the permutations. Every signature slot holds a value in [0, MersennePrime);
+// the value MersennePrime itself is reserved as the "empty" sentinel.
+const MersennePrime uint64 = (1 << 61) - 1
+
+// Empty is the sentinel stored in the slots of a signature over the empty
+// domain. It is never produced by a hash permutation.
+const Empty uint64 = MersennePrime
+
+// Hasher holds a family of m universal hash permutations
+// h_i(v) = (a_i * v + b_i) mod (2^61 - 1) with a_i in [1, p) and b_i in
+// [0, p). All signatures meant to be compared must come from Hashers
+// constructed with identical (m, seed).
+type Hasher struct {
+	a, b []uint64
+	seed uint64
+}
+
+// NewHasher constructs a family of numHash permutations derived
+// deterministically from seed. numHash must be positive.
+func NewHasher(numHash int, seed uint64) *Hasher {
+	if numHash <= 0 {
+		panic("minhash: NewHasher requires numHash > 0")
+	}
+	rng := xrand.New(seed)
+	h := &Hasher{
+		a:    make([]uint64, numHash),
+		b:    make([]uint64, numHash),
+		seed: seed,
+	}
+	for i := 0; i < numHash; i++ {
+		h.a[i] = rng.Uint64()%(MersennePrime-1) + 1 // [1, p)
+		h.b[i] = rng.Uint64() % MersennePrime       // [0, p)
+	}
+	return h
+}
+
+// NumHash returns the number of permutations (signature length).
+func (h *Hasher) NumHash() int { return len(h.a) }
+
+// Seed returns the seed the family was derived from.
+func (h *Hasher) Seed() uint64 { return h.seed }
+
+// Signature is a MinHash sketch: m slot minima, each in [0, MersennePrime],
+// where a slot equal to Empty means no value has been pushed.
+type Signature []uint64
+
+// NewSignature returns an empty signature with every slot set to Empty.
+func (h *Hasher) NewSignature() Signature {
+	s := make(Signature, len(h.a))
+	for i := range s {
+		s[i] = Empty
+	}
+	return s
+}
+
+// mulAddMod61 computes (a*v + b) mod (2^61 - 1) for a, v, b < 2^61.
+func mulAddMod61(a, v, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, v)
+	// a*v = hi*2^64 + lo. Since 2^61 ≡ 1 (mod p), 2^64 ≡ 8 (mod p), so
+	// a*v ≡ hi*8 + lo (mod p). hi < 2^58 so hi*8 cannot overflow.
+	sum, carry := bits.Add64(hi<<3, lo, 0)
+	sum += carry * 8 // 2^64 ≡ 8 (mod p) again; carry is 0 or 1
+	// Fold the (at most) 64-bit sum into [0, 2p).
+	sum = (sum >> 61) + (sum & MersennePrime)
+	if sum >= MersennePrime {
+		sum -= MersennePrime
+	}
+	// Add b, reduce once more.
+	sum += b
+	if sum >= MersennePrime {
+		sum -= MersennePrime
+	}
+	return sum
+}
+
+// HashBytes maps a raw value to a well-distributed 64-bit integer below
+// MersennePrime. It is the base hash shared by every permutation; it is also
+// used by the exact engine so that both see the same value identity.
+func HashBytes(v []byte) uint64 {
+	// FNV-1a 64-bit, then a splitmix64 finalizer to break FNV's weak
+	// avalanche on short keys.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, c := range v {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return xrand.Mix(h) % MersennePrime
+}
+
+// HashString is HashBytes for a string without forcing an allocation at the
+// call site.
+func HashString(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return xrand.Mix(h) % MersennePrime
+}
+
+// HashUint64 maps an integer-valued domain element to the base hash space.
+// Synthetic corpora use integer value identifiers; this avoids formatting
+// them as strings.
+func HashUint64(v uint64) uint64 {
+	return xrand.Mix(v) % MersennePrime
+}
+
+// PushHashed folds an already base-hashed value into the signature.
+func (h *Hasher) PushHashed(sig Signature, hv uint64) {
+	for i, a := range h.a {
+		x := mulAddMod61(a, hv, h.b[i])
+		if x < sig[i] {
+			sig[i] = x
+		}
+	}
+}
+
+// Push folds a raw byte value into the signature.
+func (h *Hasher) Push(sig Signature, v []byte) {
+	h.PushHashed(sig, HashBytes(v))
+}
+
+// PushString folds a string value into the signature.
+func (h *Hasher) PushString(sig Signature, s string) {
+	h.PushHashed(sig, HashString(s))
+}
+
+// Sketch builds a signature over a slice of already base-hashed values.
+func (h *Hasher) Sketch(hashedValues []uint64) Signature {
+	sig := h.NewSignature()
+	for _, hv := range hashedValues {
+		h.PushHashed(sig, hv)
+	}
+	return sig
+}
+
+// SketchStrings builds a signature over a slice of string values.
+func (h *Hasher) SketchStrings(values []string) Signature {
+	sig := h.NewSignature()
+	for _, v := range values {
+		h.PushString(sig, v)
+	}
+	return sig
+}
+
+// Jaccard estimates the Jaccard similarity between the domains underlying s
+// and o as the fraction of agreeing slots. The signatures must have equal
+// length (same Hasher); it panics otherwise.
+func (s Signature) Jaccard(o Signature) float64 {
+	if len(s) != len(o) {
+		panic(fmt.Sprintf("minhash: signature length mismatch %d vs %d", len(s), len(o)))
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range s {
+		if s[i] == o[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(s))
+}
+
+// Containment estimates the set containment t(Q, X) = |Q∩X|/|Q| of the
+// query domain (s, with cardinality q) in the other domain (o, with
+// cardinality x) by converting the estimated Jaccard similarity through the
+// inclusion-exclusion identity (paper Eq. 6). Cardinalities must be positive.
+func (s Signature) Containment(o Signature, q, x float64) float64 {
+	j := s.Jaccard(o)
+	if q <= 0 {
+		return 0
+	}
+	t := (x/q + 1) * j / (1 + j)
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// Merge sets s to the slot-wise minimum of s and o, which is the signature
+// of the union of the underlying domains. The signatures must come from the
+// same Hasher.
+func (s Signature) Merge(o Signature) {
+	if len(s) != len(o) {
+		panic(fmt.Sprintf("minhash: signature length mismatch %d vs %d", len(s), len(o)))
+	}
+	for i := range s {
+		if o[i] < s[i] {
+			s[i] = o[i]
+		}
+	}
+}
+
+// Clone returns a copy of the signature.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	copy(c, s)
+	return c
+}
+
+// IsEmpty reports whether no value has ever been pushed into s.
+func (s Signature) IsEmpty() bool {
+	for _, v := range s {
+		if v != Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// Cardinality estimates the number of distinct values in the underlying
+// domain. With x distinct values, each slot minimum normalized to [0,1] has
+// expectation 1/(x+1); the estimator inverts the mean of the normalized
+// minima: x̂ = m / Σ(v_i/p) − 1. Returns 0 for an empty signature.
+func (s Signature) Cardinality() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		if v == Empty {
+			return 0 // any Empty slot implies the domain is empty
+		}
+		sum += float64(v) / float64(MersennePrime)
+	}
+	if sum <= 0 {
+		return 0
+	}
+	est := float64(len(s))/sum - 1
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// AppendBinary appends the signature's binary encoding (little-endian
+// uint64 count followed by the slots) to buf and returns the result.
+func (s Signature) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s)))
+	for _, v := range s {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// ErrCorrupt is returned when decoding malformed signature bytes.
+var ErrCorrupt = errors.New("minhash: corrupt signature encoding")
+
+// DecodeSignature decodes a signature produced by AppendBinary from the
+// front of buf, returning the signature and the remaining bytes.
+func DecodeSignature(buf []byte) (Signature, []byte, error) {
+	if len(buf) < 8 {
+		return nil, buf, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > uint64(len(buf))/8 {
+		return nil, buf, ErrCorrupt
+	}
+	s := make(Signature, n)
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+	}
+	return s, buf, nil
+}

@@ -1,0 +1,329 @@
+// Package partition implements LSH Ensemble's domain partitioning
+// (paper Sections 5.2–5.4): the false-positive cost model, the equi-depth
+// partitioner that approximates the optimal equi-FP partitioning for
+// power-law size distributions (Theorem 2), an equi-width partitioner, a
+// morphing interpolation between the two (used by the dynamic-data
+// experiment, Fig. 8), and an exact minimax partitioner that directly
+// equalizes the FP upper bound across partitions (Theorem 1) for arbitrary
+// distributions.
+//
+// All partitioners take the multiset of domain sizes (any order) and return
+// contiguous, disjoint, covering size intervals.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Partition is a size interval [Lower, Upper] (inclusive on both ends) with
+// the number of domains whose size falls inside it.
+type Partition struct {
+	Lower int // smallest domain size admitted
+	Upper int // largest domain size admitted (the conversion upper bound u)
+	Count int // number of domains in the interval
+}
+
+// UpperBoundFP is the cost-model bound on the expected number of
+// false-positive candidates contributed by a partition (paper Prop. 2 /
+// Eq. 16): M = count · (u − l + 1) / (2u). It assumes a uniform size
+// distribution inside the interval and q ≪ u (the large-domain regime).
+func UpperBoundFP(count, lower, upper int) float64 {
+	if count == 0 || upper <= 0 {
+		return 0
+	}
+	return float64(count) * float64(upper-lower+1) / float64(2*upper)
+}
+
+// Cost is the minimax objective of Definition 3: the maximum per-partition
+// FP upper bound.
+func Cost(parts []Partition) float64 {
+	worst := 0.0
+	for _, p := range parts {
+		if m := UpperBoundFP(p.Count, p.Lower, p.Upper); m > worst {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// sortedCopy returns the sizes sorted ascending, validating positivity.
+func sortedCopy(sizes []int) []int {
+	s := make([]int, len(sizes))
+	copy(s, sizes)
+	sort.Ints(s)
+	if len(s) > 0 && s[0] <= 0 {
+		panic(fmt.Sprintf("partition: non-positive domain size %d", s[0]))
+	}
+	return s
+}
+
+// fromBoundaries converts cut positions over the sorted sizes into
+// partitions. cuts[i] is the exclusive end index of partition i; the last
+// cut must equal len(sorted). Empty ranges are dropped.
+func fromBoundaries(sorted []int, cuts []int) []Partition {
+	parts := make([]Partition, 0, len(cuts))
+	start := 0
+	for _, end := range cuts {
+		if end <= start {
+			continue
+		}
+		parts = append(parts, Partition{
+			Lower: sorted[start],
+			Upper: sorted[end-1],
+			Count: end - start,
+		})
+		start = end
+	}
+	return parts
+}
+
+// advanceToSizeBoundary moves end forward so a single size value never
+// straddles two partitions (intervals must be disjoint by size).
+func advanceToSizeBoundary(sorted []int, end int) int {
+	for end < len(sorted) && sorted[end] == sorted[end-1] {
+		end++
+	}
+	return end
+}
+
+// EquiDepth partitions the sizes into (at most) n intervals holding an
+// equal number of domains — the paper's practical approximation of the
+// optimal partitioning for power-law distributions (Theorem 2). Duplicated
+// size values are kept within one partition, so the realized counts can
+// deviate slightly from N/n. n must be positive; fewer than n partitions
+// are returned when there are not enough distinct sizes.
+func EquiDepth(sizes []int, n int) []Partition {
+	if n <= 0 {
+		panic("partition: n must be positive")
+	}
+	sorted := sortedCopy(sizes)
+	if len(sorted) == 0 {
+		return nil
+	}
+	cuts := make([]int, 0, n)
+	start := 0
+	for i := 0; i < n && start < len(sorted); i++ {
+		remainingParts := n - i
+		remaining := len(sorted) - start
+		target := (remaining + remainingParts - 1) / remainingParts
+		end := start + target
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		end = advanceToSizeBoundary(sorted, end)
+		cuts = append(cuts, end)
+		start = end
+	}
+	if start < len(sorted) {
+		cuts[len(cuts)-1] = len(sorted)
+	}
+	return fromBoundaries(sorted, cuts)
+}
+
+// EquiWidth partitions the size *range* into n intervals of equal width,
+// ignoring the distribution of domains across sizes. Under a power-law this
+// is far from optimal; it is the end point of the Fig. 8 morph.
+func EquiWidth(sizes []int, n int) []Partition {
+	if n <= 0 {
+		panic("partition: n must be positive")
+	}
+	sorted := sortedCopy(sizes)
+	if len(sorted) == 0 {
+		return nil
+	}
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	width := float64(hi-lo+1) / float64(n)
+	cuts := make([]int, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		bound := lo + int(math.Ceil(width*float64(i+1))) - 1 // inclusive upper size
+		if i == n-1 {
+			bound = hi
+		}
+		end := start
+		for end < len(sorted) && sorted[end] <= bound {
+			end++
+		}
+		cuts = append(cuts, end)
+		start = end
+	}
+	return fromBoundaries(sorted, cuts)
+}
+
+// Morph interpolates between equi-depth (lambda = 0) and equi-width
+// (lambda = 1) by blending the two partitionings' cut positions over the
+// sorted sizes. It models a corpus whose size distribution has drifted away
+// from the one the equi-depth partitioning was built for (Fig. 8).
+func Morph(sizes []int, n int, lambda float64) []Partition {
+	if lambda < 0 || lambda > 1 {
+		panic("partition: lambda must be in [0, 1]")
+	}
+	sorted := sortedCopy(sizes)
+	if len(sorted) == 0 {
+		return nil
+	}
+	depthCuts := cutsOf(sorted, EquiDepth(sizes, n))
+	widthCuts := cutsOf(sorted, EquiWidth(sizes, n))
+	// Pad the shorter cut list by repeating the final boundary so the two
+	// lists align position-wise.
+	for len(depthCuts) < n {
+		depthCuts = append(depthCuts, len(sorted))
+	}
+	for len(widthCuts) < n {
+		widthCuts = append(widthCuts, len(sorted))
+	}
+	cuts := make([]int, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		c := int(math.Round((1-lambda)*float64(depthCuts[i]) + lambda*float64(widthCuts[i])))
+		if c < prev {
+			c = prev
+		}
+		if c > len(sorted) {
+			c = len(sorted)
+		}
+		if c > 0 && c < len(sorted) {
+			c = advanceToSizeBoundary(sorted, c)
+		}
+		cuts[i] = c
+		prev = c
+	}
+	cuts[n-1] = len(sorted)
+	return fromBoundaries(sorted, cuts)
+}
+
+// cutsOf recovers exclusive end indices of parts over the sorted sizes.
+func cutsOf(sorted []int, parts []Partition) []int {
+	cuts := make([]int, 0, len(parts))
+	idx := 0
+	for _, p := range parts {
+		idx += p.Count
+		cuts = append(cuts, idx)
+	}
+	_ = sorted
+	return cuts
+}
+
+// Minimax computes a partitioning that minimizes the maximum per-partition
+// FP upper bound (the optimal equi-FP partitioning of Theorem 1) for an
+// arbitrary size distribution. It binary-searches the achievable cost c and
+// greedily packs domains left to right: a prefix-greedy sweep is feasible
+// iff some partitioning of cost ≤ c exists, because UpperBoundFP is
+// monotone in both interval width and count (see the Theorem 1 proof).
+func Minimax(sizes []int, n int) []Partition {
+	if n <= 0 {
+		panic("partition: n must be positive")
+	}
+	sorted := sortedCopy(sizes)
+	if len(sorted) == 0 {
+		return nil
+	}
+	feasible := func(c float64) ([]int, bool) {
+		cuts := make([]int, 0, n)
+		start := 0
+		for len(cuts) < n && start < len(sorted) {
+			lo := sorted[start]
+			end := start + 1
+			end = advanceToSizeBoundary(sorted, end)
+			// Greedily extend while the bound stays within c.
+			for end < len(sorted) {
+				next := advanceToSizeBoundary(sorted, end+1)
+				if UpperBoundFP(next-start, lo, sorted[next-1]) > c {
+					break
+				}
+				end = next
+			}
+			if UpperBoundFP(end-start, lo, sorted[end-1]) > c && end-start > 0 {
+				// A single mandatory group already exceeds c: only feasible
+				// if this is unavoidable (single size run) — treat as
+				// infeasible so the search raises c.
+				return nil, false
+			}
+			cuts = append(cuts, end)
+			start = end
+		}
+		if start < len(sorted) {
+			return nil, false
+		}
+		return cuts, true
+	}
+	lo, hi := 0.0, UpperBoundFP(len(sorted), sorted[0], sorted[len(sorted)-1])
+	if hi <= 0 {
+		hi = 1
+	}
+	var bestCuts []int
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if cuts, ok := feasible(mid); ok {
+			bestCuts = cuts
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if bestCuts == nil {
+		// Fall back to the max cost, always feasible with one partition.
+		bestCuts, _ = feasible(hi)
+		if bestCuts == nil {
+			return EquiDepth(sizes, n)
+		}
+	}
+	return fromBoundaries(sorted, bestCuts)
+}
+
+// CountStdDev returns the standard deviation of the partition domain
+// counts — the x-axis of Fig. 8.
+func CountStdDev(parts []Partition) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, p := range parts {
+		mean += float64(p.Count)
+	}
+	mean /= float64(len(parts))
+	v := 0.0
+	for _, p := range parts {
+		d := float64(p.Count) - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(parts)))
+}
+
+// Validate checks the structural invariants every partitioner must uphold:
+// intervals are non-empty, ordered, disjoint, and the counts sum to the
+// number of sizes whose values all fall inside some interval. It returns an
+// error describing the first violation.
+func Validate(parts []Partition, sizes []int) error {
+	total := 0
+	for i, p := range parts {
+		if p.Lower > p.Upper {
+			return fmt.Errorf("partition %d: lower %d > upper %d", i, p.Lower, p.Upper)
+		}
+		if p.Count <= 0 {
+			return fmt.Errorf("partition %d: empty", i)
+		}
+		if i > 0 && parts[i-1].Upper >= p.Lower {
+			return fmt.Errorf("partition %d overlaps previous (%d >= %d)", i, parts[i-1].Upper, p.Lower)
+		}
+		total += p.Count
+	}
+	if total != len(sizes) {
+		return fmt.Errorf("counts sum to %d, want %d", total, len(sizes))
+	}
+	for _, s := range sizes {
+		ok := false
+		for _, p := range parts {
+			if s >= p.Lower && s <= p.Upper {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("size %d not covered", s)
+		}
+	}
+	return nil
+}

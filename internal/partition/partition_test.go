@@ -1,0 +1,294 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lshensemble/internal/xrand"
+)
+
+func powerLawSizes(n int, seed uint64) []int {
+	rng := xrand.New(seed)
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = rng.Pareto(2.0, 10, 100000)
+	}
+	return sizes
+}
+
+func TestUpperBoundFP(t *testing.T) {
+	// Degenerate interval [u, u]: bound = count/(2u).
+	if got, want := UpperBoundFP(100, 50, 50), 100.0/100.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("UpperBoundFP = %v, want %v", got, want)
+	}
+	if got := UpperBoundFP(0, 1, 10); got != 0 {
+		t.Fatalf("empty partition bound = %v, want 0", got)
+	}
+	// Wider interval with same count and upper → larger bound.
+	if UpperBoundFP(10, 1, 100) <= UpperBoundFP(10, 90, 100) {
+		t.Fatal("bound should grow with interval width")
+	}
+}
+
+func TestEquiDepthBalanced(t *testing.T) {
+	sizes := powerLawSizes(10000, 1)
+	parts := EquiDepth(sizes, 16)
+	if err := Validate(parts, sizes); err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 16 {
+		t.Fatalf("got %d partitions, want 16", len(parts))
+	}
+	// Counts can deviate from N/n because a duplicated size value (very
+	// common at the small end of a discrete power law) must stay within one
+	// partition; they must still be within a small factor of the target.
+	for _, p := range parts {
+		if p.Count < 300 || p.Count > 1300 {
+			t.Fatalf("unbalanced partition count %d (target 625)", p.Count)
+		}
+	}
+}
+
+func TestEquiDepthDuplicatesStayTogether(t *testing.T) {
+	// 1000 domains all of size 10 plus a few larger: a size value must not
+	// straddle partitions.
+	sizes := make([]int, 0, 1010)
+	for i := 0; i < 1000; i++ {
+		sizes = append(sizes, 10)
+	}
+	for i := 0; i < 10; i++ {
+		sizes = append(sizes, 100+i)
+	}
+	parts := EquiDepth(sizes, 4)
+	if err := Validate(parts, sizes); err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Upper < 10 || parts[0].Count < 1000 {
+		t.Fatalf("size-10 run split across partitions: %+v", parts)
+	}
+}
+
+func TestEquiWidthCoversRange(t *testing.T) {
+	sizes := powerLawSizes(5000, 2)
+	parts := EquiWidth(sizes, 8)
+	if err := Validate(parts, sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Under a power law nearly everything lands in the first interval.
+	if parts[0].Count < 4000 {
+		t.Fatalf("expected heavy first equi-width partition, got %d", parts[0].Count)
+	}
+}
+
+func TestPartitionerInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, kind uint8) bool {
+		rng := xrand.New(seed)
+		n := 1 + int(nRaw)%32
+		count := 10 + rng.Intn(500)
+		sizes := make([]int, count)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(1000)
+		}
+		var parts []Partition
+		switch kind % 4 {
+		case 0:
+			parts = EquiDepth(sizes, n)
+		case 1:
+			parts = EquiWidth(sizes, n)
+		case 2:
+			parts = Minimax(sizes, n)
+		default:
+			parts = Morph(sizes, n, float64(seed%11)/10)
+		}
+		return Validate(parts, sizes) == nil && len(parts) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquiDepthApproximatesEquiFPOnPowerLaw(t *testing.T) {
+	// Theorem 2: under a power law, equi-depth ≈ equi-M_i. Verify the
+	// spread of M_i across partitions is small relative to the mean.
+	// Discreteness at the head of the distribution (thousands of domains
+	// share each small size) makes exact equality impossible, so assert the
+	// relative spread max/mean is modest for equi-depth and that it is far
+	// smaller than equi-width's spread on the same corpus.
+	sizes := powerLawSizes(20000, 3)
+	spread := func(parts []Partition) float64 {
+		mean, max := 0.0, 0.0
+		for _, p := range parts {
+			m := UpperBoundFP(p.Count, p.Lower, p.Upper)
+			mean += m
+			if m > max {
+				max = m
+			}
+		}
+		mean /= float64(len(parts))
+		return max / mean
+	}
+	d := spread(EquiDepth(sizes, 16))
+	w := spread(EquiWidth(sizes, 16))
+	// The theorem's (u−l+1)/(2u) ≈ 1/2 approximation only holds where
+	// l ≪ u, i.e. away from the distribution head, so allow a mid-single-
+	// digit factor.
+	if d > 6 {
+		t.Fatalf("equi-depth max/mean FP spread %v too large", d)
+	}
+	if d >= w {
+		t.Fatalf("equi-depth spread %v should beat equi-width spread %v", d, w)
+	}
+}
+
+func TestEquiDepthBeatsEquiWidthOnCost(t *testing.T) {
+	sizes := powerLawSizes(20000, 4)
+	d := Cost(EquiDepth(sizes, 16))
+	w := Cost(EquiWidth(sizes, 16))
+	if d >= w {
+		t.Fatalf("equi-depth cost %v should beat equi-width cost %v on power law", d, w)
+	}
+}
+
+func TestMinimaxBeatsOrMatchesBoth(t *testing.T) {
+	for _, seed := range []uint64{5, 6, 7} {
+		sizes := powerLawSizes(5000, seed)
+		m := Cost(Minimax(sizes, 16))
+		d := Cost(EquiDepth(sizes, 16))
+		w := Cost(EquiWidth(sizes, 16))
+		if m > d*1.001 || m > w*1.001 {
+			t.Fatalf("seed %d: minimax cost %v worse than equi-depth %v or equi-width %v", seed, m, d, w)
+		}
+	}
+}
+
+func TestMinimaxOnUniformDistribution(t *testing.T) {
+	// Minimax must also work when the distribution is NOT power law —
+	// Theorem 1 holds for any distribution.
+	rng := xrand.New(8)
+	sizes := make([]int, 5000)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(10000) // uniform sizes
+	}
+	parts := Minimax(sizes, 8)
+	if err := Validate(parts, sizes); err != nil {
+		t.Fatal(err)
+	}
+	if Cost(parts) > Cost(EquiDepth(sizes, 8))*1.001 {
+		t.Fatal("minimax should not lose to equi-depth on uniform sizes")
+	}
+}
+
+func TestMorphEndpoints(t *testing.T) {
+	sizes := powerLawSizes(5000, 9)
+	d := EquiDepth(sizes, 8)
+	m0 := Morph(sizes, 8, 0)
+	if len(d) != len(m0) {
+		t.Fatalf("morph(0) has %d parts, equi-depth %d", len(m0), len(d))
+	}
+	for i := range d {
+		if d[i] != m0[i] {
+			t.Fatalf("morph(0) differs from equi-depth at %d: %+v vs %+v", i, m0[i], d[i])
+		}
+	}
+	// morph(1) should be much more imbalanced than morph(0).
+	s0 := CountStdDev(m0)
+	s1 := CountStdDev(Morph(sizes, 8, 1))
+	if s1 <= s0 {
+		t.Fatalf("morph(1) stddev %v should exceed morph(0) stddev %v", s1, s0)
+	}
+}
+
+func TestMorphStdDevMonotoneish(t *testing.T) {
+	// Increasing lambda should (weakly) increase imbalance overall:
+	// compare endpoints and midpoint.
+	sizes := powerLawSizes(10000, 10)
+	s := []float64{
+		CountStdDev(Morph(sizes, 32, 0)),
+		CountStdDev(Morph(sizes, 32, 0.5)),
+		CountStdDev(Morph(sizes, 32, 1)),
+	}
+	if !(s[0] <= s[1]+1 && s[1] <= s[2]+1) {
+		t.Fatalf("stddev sequence not increasing: %v", s)
+	}
+}
+
+func TestCountStdDev(t *testing.T) {
+	parts := []Partition{{1, 1, 10}, {2, 2, 10}, {3, 3, 10}}
+	if got := CountStdDev(parts); got != 0 {
+		t.Fatalf("equal counts stddev = %v, want 0", got)
+	}
+	parts = []Partition{{1, 1, 0}, {2, 2, 20}}
+	if got := CountStdDev(parts); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("stddev = %v, want 10", got)
+	}
+	if got := CountStdDev(nil); got != 0 {
+		t.Fatalf("nil stddev = %v, want 0", got)
+	}
+}
+
+func TestEmptyAndSingleInputs(t *testing.T) {
+	if parts := EquiDepth(nil, 4); parts != nil {
+		t.Fatal("empty input should give nil")
+	}
+	parts := EquiDepth([]int{42}, 4)
+	if len(parts) != 1 || parts[0].Lower != 42 || parts[0].Upper != 42 || parts[0].Count != 1 {
+		t.Fatalf("single input: %+v", parts)
+	}
+	parts = EquiWidth([]int{5, 5, 5}, 3)
+	if len(parts) != 1 || parts[0].Count != 3 {
+		t.Fatalf("all-equal sizes: %+v", parts)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	sizes := []int{1, 2, 3}
+	bad := []Partition{{Lower: 1, Upper: 2, Count: 2}, {Lower: 2, Upper: 3, Count: 1}}
+	if Validate(bad, sizes) == nil {
+		t.Fatal("overlap not caught")
+	}
+	bad = []Partition{{Lower: 1, Upper: 3, Count: 5}}
+	if Validate(bad, sizes) == nil {
+		t.Fatal("bad count not caught")
+	}
+	bad = []Partition{{Lower: 2, Upper: 3, Count: 3}}
+	if Validate(bad, sizes) == nil {
+		t.Fatal("uncovered size not caught")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"equidepth n=0": func() { EquiDepth([]int{1}, 0) },
+		"equiwidth n=0": func() { EquiWidth([]int{1}, 0) },
+		"minimax n=0":   func() { Minimax([]int{1}, 0) },
+		"morph bad l":   func() { Morph([]int{1}, 2, 1.5) },
+		"negative size": func() { EquiDepth([]int{-1}, 2) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkEquiDepth(b *testing.B) {
+	sizes := powerLawSizes(100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EquiDepth(sizes, 32)
+	}
+}
+
+func BenchmarkMinimax(b *testing.B) {
+	sizes := powerLawSizes(100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimax(sizes, 32)
+	}
+}

@@ -1,0 +1,145 @@
+// Package staticlsh implements the classic fixed-configuration MinHash LSH
+// index of Section 3.2: b bands of r hash values each, hash-table buckets
+// per band, and the static Jaccard threshold s* ≈ (1/b)^(1/r) (paper
+// Eq. 21). It exists as an ablation target — LSH Ensemble replaces it with
+// the dynamic LSH Forest precisely because a fixed (b, r) cannot serve
+// per-query containment thresholds — and as a reference implementation for
+// the forest's correctness tests (both must produce identical candidate
+// sets for the same (b, r)).
+package staticlsh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lshensemble/internal/tune"
+)
+
+// Index is a MinHash LSH with a fixed banding configuration.
+type Index struct {
+	b, r    int
+	numHash int
+	keys    []string
+	tables  []map[string][]uint32
+}
+
+// New constructs an index with the given banding configuration; b·r must
+// not exceed numHash.
+func New(numHash, b, r int) *Index {
+	if b <= 0 || r <= 0 || b*r > numHash {
+		panic(fmt.Sprintf("staticlsh: invalid configuration b=%d r=%d m=%d", b, r, numHash))
+	}
+	tables := make([]map[string][]uint32, b)
+	for i := range tables {
+		tables[i] = make(map[string][]uint32)
+	}
+	return &Index{b: b, r: r, numHash: numHash, tables: tables}
+}
+
+// NewForThreshold picks the (b, r) with b·r ≤ numHash whose candidate
+// curve best matches the Jaccard threshold s*, by minimizing the sum of the
+// false-positive and false-negative areas of 1−(1−s^r)^b around s* — the
+// standard construction (cf. Eq. 5/21).
+func NewForThreshold(numHash int, sStar float64) *Index {
+	bestB, bestR := 1, 1
+	bestCost := math.Inf(1)
+	for r := 1; r <= numHash; r++ {
+		for b := 1; b*r <= numHash; b++ {
+			fp := integrate(func(s float64) float64 { return prob(s, b, r) }, 0, sStar)
+			fn := integrate(func(s float64) float64 { return 1 - prob(s, b, r) }, sStar, 1)
+			if cost := fp + fn; cost < bestCost {
+				bestCost = cost
+				bestB, bestR = b, r
+			}
+		}
+	}
+	return New(numHash, bestB, bestR)
+}
+
+func prob(s float64, b, r int) float64 {
+	return 1 - math.Pow(1-math.Pow(s, float64(r)), float64(b))
+}
+
+func integrate(f func(float64) float64, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	const n = 32
+	h := (hi - lo) / n
+	sum := (f(lo) + f(hi)) / 2
+	for i := 1; i < n; i++ {
+		sum += f(lo + float64(i)*h)
+	}
+	return sum * h
+}
+
+// B returns the number of bands.
+func (x *Index) B() int { return x.b }
+
+// R returns the band width.
+func (x *Index) R() int { return x.r }
+
+// Threshold returns the approximate Jaccard threshold (1/b)^(1/r) of the
+// fixed configuration (paper Eq. 21).
+func (x *Index) Threshold() float64 {
+	return math.Pow(1/float64(x.b), 1/float64(x.r))
+}
+
+// Len returns the number of indexed signatures.
+func (x *Index) Len() int { return len(x.keys) }
+
+// bandKey serializes one band of the signature into a bucket key.
+func (x *Index) bandKey(sig []uint64, band int) string {
+	buf := make([]byte, 8*x.r)
+	off := band * x.r
+	for i := 0; i < x.r; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], sig[off+i])
+	}
+	return string(buf)
+}
+
+// Add inserts a signature under the given key. Unlike the forest, the
+// static index is immediately queryable after every Add.
+func (x *Index) Add(key string, sig []uint64) {
+	if len(sig) < x.numHash {
+		panic(fmt.Sprintf("staticlsh: signature length %d < %d", len(sig), x.numHash))
+	}
+	id := uint32(len(x.keys))
+	x.keys = append(x.keys, key)
+	for band := 0; band < x.b; band++ {
+		k := x.bandKey(sig, band)
+		x.tables[band][k] = append(x.tables[band][k], id)
+	}
+}
+
+// Query returns the keys of all signatures colliding with the query in at
+// least one band.
+func (x *Index) Query(sig []uint64) []string {
+	seen := make(map[uint32]struct{})
+	var out []string
+	for band := 0; band < x.b; band++ {
+		for _, id := range x.tables[band][x.bandKey(sig, band)] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, x.keys[id])
+		}
+	}
+	return out
+}
+
+// QueryContainment performs containment search the way the paper's
+// "Baseline" would if it had no dynamic tuning: the caller converts t* to
+// s* with the global upper bound (Eq. 7) at *build* time; at query time the
+// fixed index simply probes. Provided for the static-vs-dynamic ablation.
+func QueryContainment(x *Index, sig []uint64) []string {
+	return x.Query(sig)
+}
+
+// ConvertThreshold is a convenience re-export of the conservative
+// containment→Jaccard conversion used to choose s* for NewForThreshold.
+func ConvertThreshold(tStar, globalUpperBound, typicalQuerySize float64) float64 {
+	return tune.ConservativeJaccardThreshold(tStar, globalUpperBound, typicalQuerySize)
+}

@@ -1,0 +1,162 @@
+package staticlsh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"lshensemble/internal/lshforest"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/xrand"
+)
+
+func randSigs(rng *xrand.RNG, n, m int, valueRange uint64) [][]uint64 {
+	sigs := make([][]uint64, n)
+	for i := range sigs {
+		s := make([]uint64, m)
+		for k := range s {
+			s[k] = rng.Uint64() % valueRange
+		}
+		sigs[i] = s
+	}
+	return sigs
+}
+
+func TestStaticMatchesForest(t *testing.T) {
+	// The static index with (b, r) must return exactly the candidates the
+	// dynamic forest returns when queried at the same (b, r) — they are two
+	// implementations of the same banding scheme.
+	rng := xrand.New(1)
+	const m, rMax = 16, 4
+	sigs := randSigs(rng, 300, m, 4)
+	for _, cfg := range []struct{ b, r int }{{1, 4}, {2, 4}, {4, 4}} {
+		static := New(m, cfg.b, cfg.r)
+		forest := lshforest.New(m, rMax)
+		for i, s := range sigs {
+			static.Add(fmt.Sprint(i), s)
+			forest.Add(uint32(i), s)
+		}
+		forest.Index()
+		for trial := 0; trial < 30; trial++ {
+			q := sigs[rng.Intn(len(sigs))]
+			a := static.Query(q)
+			var b []string
+			forest.QueryDedup(q, cfg.b, cfg.r, nil, func(id uint32) bool {
+				b = append(b, fmt.Sprint(id))
+				return true
+			})
+			sort.Strings(a)
+			sort.Strings(b)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("cfg %+v: static %v != forest %v", cfg, a, b)
+			}
+		}
+	}
+}
+
+func TestBandKeyNoAliasing(t *testing.T) {
+	// Band keys must respect value boundaries: {1, 256} and {256, 1} are
+	// different bands even though their byte multisets overlap.
+	x := New(2, 1, 2)
+	x.Add("a", []uint64{1, 256})
+	if got := x.Query([]uint64{256, 1}); len(got) != 0 {
+		t.Fatalf("aliased band key: %v", got)
+	}
+	if got := x.Query([]uint64{1, 256}); len(got) != 1 {
+		t.Fatalf("exact band missed: %v", got)
+	}
+}
+
+func TestThresholdFormula(t *testing.T) {
+	x := New(256, 32, 4)
+	want := math.Pow(1.0/32, 0.25)
+	if got := x.Threshold(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("threshold %v, want %v", got, want)
+	}
+}
+
+func TestNewForThreshold(t *testing.T) {
+	// Higher s* should select a configuration with a higher effective
+	// threshold.
+	lo := NewForThreshold(128, 0.2)
+	hi := NewForThreshold(128, 0.9)
+	if lo.Threshold() >= hi.Threshold() {
+		t.Fatalf("thresholds not ordered: %v vs %v", lo.Threshold(), hi.Threshold())
+	}
+	if lo.B()*lo.R() > 128 || hi.B()*hi.R() > 128 {
+		t.Fatal("configuration exceeds hash budget")
+	}
+	// Effective threshold should be in the neighbourhood of the target.
+	if math.Abs(hi.Threshold()-0.9) > 0.25 {
+		t.Fatalf("s*=0.9 chose effective threshold %v", hi.Threshold())
+	}
+}
+
+func TestRealSignatureRecall(t *testing.T) {
+	// Similar sets collide; dissimilar ones rarely do near the threshold.
+	h := minhash.NewHasher(128, 3)
+	x := NewForThreshold(128, 0.5)
+	base := make([]string, 100)
+	for i := range base {
+		base[i] = fmt.Sprintf("v%d", i)
+	}
+	similar := append(append([]string{}, base[:90]...),
+		"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10") // J ≈ 0.82
+	other := make([]string, 100)
+	for i := range other {
+		other[i] = fmt.Sprintf("w%d", i)
+	}
+	x.Add("similar", h.SketchStrings(similar))
+	x.Add("other", h.SketchStrings(other))
+	got := x.Query(h.SketchStrings(base))
+	found := map[string]bool{}
+	for _, k := range got {
+		found[k] = true
+	}
+	if !found["similar"] {
+		t.Fatal("high-Jaccard set not retrieved")
+	}
+	if found["other"] {
+		t.Fatal("disjoint set retrieved")
+	}
+}
+
+func TestImmediatelyQueryable(t *testing.T) {
+	x := New(8, 2, 2)
+	sig := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	x.Add("k", sig)
+	if got := x.Query(sig); len(got) != 1 || got[0] != "k" {
+		t.Fatalf("Add not immediately visible: %v", got)
+	}
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"b zero":    func() { New(8, 0, 2) },
+		"r zero":    func() { New(8, 2, 0) },
+		"b*r too":   func() { New(8, 3, 3) },
+		"short sig": func() { New(8, 2, 2).Add("k", make([]uint64, 4)) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConvertThreshold(t *testing.T) {
+	// Matches Eq. 7: s* = t*/(u/q + 1 − t*).
+	got := ConvertThreshold(0.5, 3, 1)
+	if math.Abs(got-1.0/7) > 1e-12 {
+		t.Fatalf("ConvertThreshold = %v, want 1/7", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stats provides the descriptive statistics the paper's evaluation
+// relies on: moment-based skewness (Eq. 29), log₂ domain-size histograms
+// (Fig. 1), a power-law exponent MLE for validating generated corpora, and
+// small mean/stddev helpers.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, 0 for empty input.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Skewness is the moment coefficient of skewness m₃/m₂^(3/2) used by the
+// paper (Eq. 29, citing Kokoska & Zwillinger) to quantify domain-size skew.
+// Returns 0 for fewer than 2 samples or zero variance.
+func Skewness(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// SkewnessInts is Skewness over integer samples.
+func SkewnessInts(xs []int) float64 {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Skewness(f)
+}
+
+// Bucket is one log₂ histogram bucket covering sizes in [Lo, Hi).
+type Bucket struct {
+	Lo, Hi int
+	Count  int
+}
+
+// LogHistogram buckets positive sizes by powers of two: [1,2), [2,4), …
+// matching the log-log presentation of the paper's Fig. 1. Non-positive
+// sizes are ignored. Trailing empty buckets are trimmed.
+func LogHistogram(sizes []int) []Bucket {
+	var buckets []Bucket
+	for _, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		b := 0
+		for (1 << (b + 1)) <= s {
+			b++
+		}
+		for len(buckets) <= b {
+			lo := 1 << len(buckets)
+			buckets = append(buckets, Bucket{Lo: lo, Hi: lo * 2})
+		}
+		buckets[b].Count++
+	}
+	for len(buckets) > 0 && buckets[len(buckets)-1].Count == 0 {
+		buckets = buckets[:len(buckets)-1]
+	}
+	return buckets
+}
+
+// PowerLawAlphaMLE estimates the exponent α of a discrete power-law
+// frequency function f(x) ∝ x^(-α) for samples with x ≥ xmin, using the
+// continuous MLE with the standard −1/2 discreteness correction
+// (Clauset, Shalizi, Newman 2009): α = 1 + n / Σ ln(x_i / (xmin − ½)).
+// Samples below xmin are ignored. Returns 0 when no samples qualify.
+func PowerLawAlphaMLE(sizes []int, xmin int) float64 {
+	if xmin < 1 {
+		xmin = 1
+	}
+	den := 0.0
+	n := 0
+	base := float64(xmin) - 0.5
+	for _, s := range sizes {
+		if s < xmin {
+			continue
+		}
+		den += math.Log(float64(s) / base)
+		n++
+	}
+	if n == 0 || den == 0 {
+		return 0
+	}
+	return 1 + float64(n)/den
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lshensemble/internal/xrand"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestSkewnessSymmetric(t *testing.T) {
+	if got := Skewness([]float64{1, 2, 3, 4, 5}); math.Abs(got) > 1e-12 {
+		t.Fatalf("symmetric skewness = %v, want 0", got)
+	}
+	if Skewness([]float64{1}) != 0 {
+		t.Fatal("single sample should give 0")
+	}
+	if Skewness([]float64{3, 3, 3}) != 0 {
+		t.Fatal("zero variance should give 0")
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	// Right-tailed data (like power-law sizes) has positive skewness.
+	right := []float64{1, 1, 1, 1, 1, 1, 1, 1, 100}
+	if got := Skewness(right); got <= 0 {
+		t.Fatalf("right-tailed skewness = %v, want > 0", got)
+	}
+	left := []float64{100, 100, 100, 100, 100, 100, 100, 100, 1}
+	if got := Skewness(left); got >= 0 {
+		t.Fatalf("left-tailed skewness = %v, want < 0", got)
+	}
+}
+
+func TestSkewnessGrowsWithPowerLawInterval(t *testing.T) {
+	// The Fig. 5 premise: widening a power-law size interval raises skew.
+	rng := xrand.New(3)
+	var narrow, wide []int
+	for i := 0; i < 20000; i++ {
+		narrow = append(narrow, rng.Pareto(2.0, 10, 100))
+		wide = append(wide, rng.Pareto(2.0, 10, 100000))
+	}
+	if SkewnessInts(narrow) >= SkewnessInts(wide) {
+		t.Fatalf("skewness should grow with interval: %v vs %v",
+			SkewnessInts(narrow), SkewnessInts(wide))
+	}
+}
+
+func TestSkewnessIntsMatchesFloat(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		ints := make([]int, len(raw))
+		floats := make([]float64, len(raw))
+		for i, v := range raw {
+			ints[i] = int(v)
+			floats[i] = float64(v)
+		}
+		return math.Abs(SkewnessInts(ints)-Skewness(floats)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := LogHistogram([]int{1, 1, 2, 3, 4, 7, 8, 100, 0, -5})
+	// buckets: [1,2):2  [2,4):2  [4,8):2  [8,16):1 ... [64,128):1
+	if h[0].Count != 2 || h[0].Lo != 1 || h[0].Hi != 2 {
+		t.Fatalf("bucket 0 = %+v", h[0])
+	}
+	if h[1].Count != 2 {
+		t.Fatalf("bucket 1 = %+v", h[1])
+	}
+	if h[2].Count != 2 {
+		t.Fatalf("bucket 2 = %+v", h[2])
+	}
+	if h[3].Count != 1 {
+		t.Fatalf("bucket 3 = %+v", h[3])
+	}
+	last := h[len(h)-1]
+	if last.Lo != 64 || last.Count != 1 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+	total := 0
+	for _, b := range h {
+		total += b.Count
+	}
+	if total != 8 {
+		t.Fatalf("total %d, want 8 (non-positive ignored)", total)
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	if h := LogHistogram(nil); len(h) != 0 {
+		t.Fatal("empty input should give no buckets")
+	}
+	if h := LogHistogram([]int{0, -1}); len(h) != 0 {
+		t.Fatal("non-positive only should give no buckets")
+	}
+}
+
+func TestPowerLawAlphaMLERecoversAlpha(t *testing.T) {
+	rng := xrand.New(5)
+	for _, alpha := range []float64{1.8, 2.0, 2.5} {
+		sizes := make([]int, 50000)
+		for i := range sizes {
+			sizes[i] = rng.Pareto(alpha, 10, 10000000)
+		}
+		got := PowerLawAlphaMLE(sizes, 10)
+		if math.Abs(got-alpha) > 0.15 {
+			t.Fatalf("MLE for alpha=%v: got %v", alpha, got)
+		}
+	}
+}
+
+func TestPowerLawAlphaMLEEdge(t *testing.T) {
+	if got := PowerLawAlphaMLE(nil, 10); got != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := PowerLawAlphaMLE([]int{5, 6}, 10); got != 0 {
+		t.Fatalf("all below xmin: %v", got)
+	}
+}

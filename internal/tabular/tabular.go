@@ -1,0 +1,139 @@
+// Package tabular extracts domains from relational tables, the ingestion
+// path of the paper's motivating scenario: every column of every CSV table
+// becomes a domain (its set of distinct values), keyed as
+// "<table>:<column>". The paper discards domains with fewer than ten
+// values; the same cutoff is the default here.
+package tabular
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures extraction. Zero values select defaults.
+type Options struct {
+	// MinSize drops domains with fewer distinct values. Default 10, the
+	// paper's cutoff; set negative to keep everything.
+	MinSize int
+	// HasHeader treats the first row as column names (default true via
+	// NoHeader=false semantics is awkward, so the field is inverted).
+	NoHeader bool
+	// TrimSpace trims surrounding whitespace from values. Default true via
+	// inverted field.
+	NoTrim bool
+}
+
+func (o Options) minSize() int {
+	if o.MinSize == 0 {
+		return 10
+	}
+	if o.MinSize < 0 {
+		return 1
+	}
+	return o.MinSize
+}
+
+// Column is one extracted domain.
+type Column struct {
+	Key    string   // "<table>:<column>"
+	Values []string // distinct values, sorted
+}
+
+// FromCSV extracts the column domains of one CSV stream. tableName seeds
+// the domain keys. Rows with differing field counts are tolerated (short
+// rows simply do not contribute to trailing columns).
+func FromCSV(r io.Reader, tableName string, opts Options) ([]Column, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = true
+
+	var names []string
+	sets := []map[string]struct{}{}
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tabular: reading %s: %w", tableName, err)
+		}
+		if first && !opts.NoHeader {
+			names = append(names, rec...)
+			first = false
+			continue
+		}
+		first = false
+		for i, v := range rec {
+			for len(sets) <= i {
+				sets = append(sets, map[string]struct{}{})
+			}
+			if !opts.NoTrim {
+				v = strings.TrimSpace(v)
+			}
+			if v == "" {
+				continue
+			}
+			sets[i][v] = struct{}{}
+		}
+	}
+	var cols []Column
+	for i, set := range sets {
+		if len(set) < opts.minSize() {
+			continue
+		}
+		name := fmt.Sprintf("col%d", i)
+		if i < len(names) && strings.TrimSpace(names[i]) != "" {
+			name = strings.TrimSpace(names[i])
+		}
+		values := make([]string, 0, len(set))
+		for v := range set {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		cols = append(cols, Column{
+			Key:    tableName + ":" + name,
+			Values: values,
+		})
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a].Key < cols[b].Key })
+	return cols, nil
+}
+
+// FromFile extracts the column domains of one CSV file, keyed by the file's
+// base name without extension.
+func FromFile(path string, opts Options) ([]Column, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	return FromCSV(f, base, opts)
+}
+
+// FromDir extracts domains from every *.csv file directly inside dir.
+func FromDir(dir string, opts Options) ([]Column, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for _, e := range entries {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".csv") {
+			continue
+		}
+		c, err := FromFile(filepath.Join(dir, e.Name()), opts)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c...)
+	}
+	return cols, nil
+}

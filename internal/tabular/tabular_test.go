@@ -1,0 +1,164 @@
+package tabular
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `city,province,population
+Toronto,Ontario,2794356
+Ottawa,Ontario,1017449
+Hamilton,Ontario,569353
+Calgary,Alberta,1306784
+Edmonton,Alberta,1010899
+Vancouver,BC,662248
+Victoria,BC,91867
+Winnipeg,Manitoba,749607
+Halifax,"Nova Scotia",439819
+Regina,Saskatchewan,226404
+Saskatoon,Saskatchewan,266141
+Quebec City,Quebec,549459
+`
+
+func TestFromCSVBasics(t *testing.T) {
+	cols, err := FromCSV(strings.NewReader(sample), "cities", Options{MinSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("got %d columns, want 3", len(cols))
+	}
+	byKey := map[string]Column{}
+	for _, c := range cols {
+		byKey[c.Key] = c
+	}
+	city, ok := byKey["cities:city"]
+	if !ok {
+		t.Fatalf("missing cities:city, got %v", byKey)
+	}
+	if len(city.Values) != 12 {
+		t.Fatalf("city has %d values, want 12", len(city.Values))
+	}
+	prov := byKey["cities:province"]
+	if len(prov.Values) != 7 {
+		t.Fatalf("province has %d distinct values, want 7: %v", len(prov.Values), prov.Values)
+	}
+	// Quoted value parsed correctly.
+	found := false
+	for _, v := range prov.Values {
+		if v == "Nova Scotia" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("quoted value lost")
+	}
+}
+
+func TestMinSizeFilter(t *testing.T) {
+	cols, err := FromCSV(strings.NewReader(sample), "cities", Options{}) // default min 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only city (12) and population (12) survive; province (7) dropped.
+	if len(cols) != 2 {
+		t.Fatalf("got %d columns with default cutoff, want 2", len(cols))
+	}
+	for _, c := range cols {
+		if strings.HasSuffix(c.Key, ":province") {
+			t.Fatal("province should be filtered by MinSize")
+		}
+	}
+}
+
+func TestNoHeader(t *testing.T) {
+	cols, err := FromCSV(strings.NewReader("a,b\nc,d\ne,f\n"), "t", Options{NoHeader: true, MinSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("got %d columns", len(cols))
+	}
+	if cols[0].Key != "t:col0" || len(cols[0].Values) != 3 {
+		t.Fatalf("col0: %+v", cols[0])
+	}
+}
+
+func TestRaggedRowsAndBlanks(t *testing.T) {
+	in := "h1,h2\nv1\nv2,x\n ,y\nv3,\n"
+	cols, err := FromCSV(strings.NewReader(in), "t", Options{MinSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Column{}
+	for _, c := range cols {
+		byKey[c.Key] = c
+	}
+	// h1 gets v1, v2, v3 (blank/whitespace dropped); h2 gets x, y.
+	if got := byKey["t:h1"].Values; len(got) != 3 {
+		t.Fatalf("h1: %v", got)
+	}
+	if got := byKey["t:h2"].Values; len(got) != 2 {
+		t.Fatalf("h2: %v", got)
+	}
+}
+
+func TestDuplicatesCollapse(t *testing.T) {
+	in := "h\na\na\na\nb\n"
+	cols, err := FromCSV(strings.NewReader(in), "t", Options{MinSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols[0].Values) != 2 {
+		t.Fatalf("distinct values: %v", cols[0].Values)
+	}
+}
+
+func TestFromFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "cities.csv"), []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "other.csv"), []byte("h\n1\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "skip.txt"), []byte("not csv"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := FromFile(filepath.Join(dir, "cities.csv"), Options{MinSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || !strings.HasPrefix(cols[0].Key, "cities:") {
+		t.Fatalf("FromFile: %v", cols)
+	}
+	all, err := FromDir(dir, Options{MinSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cities: 3 cols, other: 1 col (3 values ≥ 2), skip.txt ignored.
+	if len(all) != 4 {
+		t.Fatalf("FromDir got %d columns, want 4", len(all))
+	}
+}
+
+func TestFromFileMissing(t *testing.T) {
+	if _, err := FromFile("/nonexistent/x.csv", Options{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := FromDir("/nonexistent", Options{}); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	cols, err := FromCSV(strings.NewReader(""), "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 0 {
+		t.Fatalf("empty input produced %d columns", len(cols))
+	}
+}

@@ -1,0 +1,222 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for n := 0; n < 30; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(9)
+	s := []int{1, 2, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2.0, 10, 100000)
+		if v < 10 || v > 100000 {
+			t.Fatalf("Pareto out of bounds: %d", v)
+		}
+	}
+}
+
+func TestParetoSkew(t *testing.T) {
+	// A power law with alpha=2 should put most mass near xmin.
+	r := New(17)
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Pareto(2.0, 10, 100000) < 100 {
+			small++
+		}
+	}
+	// P(X < 100 | xmin=10, alpha=2) ≈ 0.9.
+	if frac := float64(small) / n; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("Pareto mass below 100: %v, want ~0.9", frac)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(1).Pareto(1.0, 10, 100) },
+		func() { New(1).Pareto(2.0, 0, 100) },
+		func() { New(1).Pareto(2.0, 10, 5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(19)
+	for _, s := range []float64{0.5, 1.0, 1.5, 2.0} {
+		for i := 0; i < 5000; i++ {
+			v := r.Zipf(s, 1000)
+			if v < 0 || v >= 1000 {
+				t.Fatalf("Zipf(s=%v) out of bounds: %d", s, v)
+			}
+		}
+	}
+}
+
+func TestZipfFavorsLowRanks(t *testing.T) {
+	r := New(23)
+	lo := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Zipf(1.2, 10000) < 100 {
+			lo++
+		}
+	}
+	if frac := float64(lo) / n; frac < 0.5 {
+		t.Fatalf("Zipf(1.2) mass on ranks <100: %v, want > 0.5", frac)
+	}
+}
+
+func TestMinOfUniformsBounds(t *testing.T) {
+	r := New(29)
+	const bound = 1 << 61
+	for _, k := range []int{1, 2, 10, 1000, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.MinOfUniforms(k, bound)
+			if v >= bound {
+				t.Fatalf("MinOfUniforms(k=%d) = %d >= bound", k, v)
+			}
+		}
+	}
+}
+
+func TestMinOfUniformsDistribution(t *testing.T) {
+	// The mean of the min of k uniforms on [0, 1) is 1/(k+1).
+	r := New(31)
+	const bound = uint64(1) << 32
+	for _, k := range []int{1, 4, 20} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(r.MinOfUniforms(k, bound)) / float64(bound)
+		}
+		mean := sum / n
+		want := 1 / float64(k+1)
+		if math.Abs(mean-want) > 0.15*want+0.002 {
+			t.Fatalf("MinOfUniforms(k=%d) mean %v, want ~%v", k, mean, want)
+		}
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Property: flipping one input bit changes roughly half the output bits.
+	f := func(x uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		d := Mix(x) ^ Mix(x^(1<<b))
+		pop := 0
+		for d != 0 {
+			pop++
+			d &= d - 1
+		}
+		return pop >= 8 && pop <= 56
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package lshensemble
+
+import (
+	"fmt"
+	"io"
+
+	"lshensemble/internal/asym"
+	"lshensemble/internal/baseline"
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/partition"
+)
+
+// Signature is a MinHash sketch of a domain. Signatures are comparable only
+// when produced by Hashers constructed with identical (numHash, seed).
+type Signature = minhash.Signature
+
+// Hasher is a family of minwise hash permutations. All signatures indexed
+// together and all query signatures must come from the same family.
+type Hasher = minhash.Hasher
+
+// NewHasher constructs a hash family of numHash permutations (the paper
+// uses 256) derived deterministically from seed.
+func NewHasher(numHash int, seed uint64) *Hasher {
+	return minhash.NewHasher(numHash, seed)
+}
+
+// DomainRecord is one indexable domain: a caller-chosen key, the exact
+// cardinality of the domain, and its MinHash signature.
+type DomainRecord = core.Record
+
+// Options configures Build; zero values select the paper's defaults
+// (NumHash 256, RMax 8, NumPartitions 16, equi-depth partitioning).
+type Options = core.Options
+
+// Index is a built LSH Ensemble. It is safe for concurrent queries.
+type Index = core.Index
+
+// PartitionerFunc chooses the size intervals of the ensemble.
+type PartitionerFunc = core.PartitionerFunc
+
+// Partitioning strategies for Options.Partitioner.
+var (
+	// EquiDepth gives every partition the same number of domains — the
+	// paper's Theorem 2 choice, near-optimal for power-law distributions.
+	EquiDepth PartitionerFunc = partition.EquiDepth
+	// EquiWidth splits the size range evenly — a poor choice under skew,
+	// provided for comparison and drift experiments.
+	EquiWidth PartitionerFunc = partition.EquiWidth
+	// Minimax directly minimizes the maximum per-partition false-positive
+	// bound (Theorem 1), for arbitrary (non-power-law) distributions.
+	Minimax PartitionerFunc = partition.Minimax
+)
+
+// Build constructs an LSH Ensemble over the records.
+func Build(records []DomainRecord, opts Options) (*Index, error) {
+	return core.Build(records, opts)
+}
+
+// SketchStrings is a convenience that builds a record from raw string
+// values (deduplicated by the hasher's value identity).
+func SketchStrings(h *Hasher, key string, values []string) DomainRecord {
+	sig := h.NewSignature()
+	seen := make(map[uint64]struct{}, len(values))
+	n := 0
+	for _, v := range values {
+		hv := minhash.HashString(v)
+		if _, dup := seen[hv]; dup {
+			continue
+		}
+		seen[hv] = struct{}{}
+		h.PushHashed(sig, hv)
+		n++
+	}
+	return DomainRecord{Key: key, Size: n, Sig: sig}
+}
+
+// BaselineIndex is the paper's comparator: one dynamically tuned MinHash
+// LSH over the whole corpus (an ensemble with a single partition).
+type BaselineIndex = baseline.Index
+
+// BuildBaseline constructs the single-partition baseline.
+func BuildBaseline(records []DomainRecord, numHash, rMax int) (*BaselineIndex, error) {
+	return baseline.Build(records, numHash, rMax)
+}
+
+// AsymIndex is Asymmetric Minwise Hashing (Shrivastava & Li), the other
+// comparator evaluated by the paper.
+type AsymIndex = asym.Index
+
+// BuildAsym constructs the asymmetric-minwise-hashing comparator.
+func BuildAsym(records []DomainRecord, numHash, rMax int) (*AsymIndex, error) {
+	return asym.Build(records, numHash, rMax)
+}
+
+// TopKResult is one ranked answer of Index.QueryTopK, the top-k search
+// formulation complementary to threshold search (paper Section 2).
+type TopKResult = core.TopKResult
+
+// Save writes the index's binary encoding to w.
+func Save(w io.Writer, idx *Index) error {
+	buf := idx.AppendBinary(nil)
+	n, err := w.Write(buf)
+	if err != nil {
+		return err
+	}
+	if n != len(buf) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// Load reads an index previously written with Save.
+func Load(r io.Reader) (*Index, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	idx, rest, err := core.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("lshensemble: %d trailing bytes after index", len(rest))
+	}
+	return idx, nil
+}
