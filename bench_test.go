@@ -366,6 +366,54 @@ func BenchmarkAblationStaticVsDynamic(b *testing.B) {
 	})
 }
 
+// BenchmarkQuerySteadyStateAllocs measures the allocation profile of the
+// pooled query path. QueryIDsAppend with a reused destination buffer is the
+// steady-state serving loop and must not allocate at all once the scratch
+// pool and tuning cache are warm.
+func BenchmarkQuerySteadyStateAllocs(b *testing.B) {
+	f := openDataFixture(b, 4000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ids []uint32
+	for _, qi := range f.queries {
+		ids = idx.QueryIDsAppend(ids[:0], f.records[qi].Sig, f.records[qi].Size, 0.5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qi := f.queries[i%len(f.queries)]
+		ids = idx.QueryIDsAppend(ids[:0], f.records[qi].Sig, f.records[qi].Size, 0.5)
+	}
+}
+
+// BenchmarkSketchBatched measures the batched corpus-sketching path
+// (PushHashedBlock) against the per-value loop it amortizes.
+func BenchmarkSketchBatched(b *testing.B) {
+	h := minhash.NewHasher(256, 7)
+	values := make([]uint64, 4096)
+	for i := range values {
+		values[i] = minhash.HashUint64(uint64(i))
+	}
+	b.Run("block", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sig := h.NewSignature()
+			h.PushHashedBlock(sig, values)
+		}
+	})
+	b.Run("per-value", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sig := h.NewSignature()
+			for _, hv := range values {
+				h.PushHashed(sig, hv)
+			}
+		}
+	})
+}
+
 // BenchmarkTopK measures the top-k search path.
 func BenchmarkTopK(b *testing.B) {
 	f := openDataFixture(b, 4000)

@@ -82,6 +82,73 @@ func TestConcurrentTopK(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentPooledScratch hammers the pooled query scratch (the
+// generation-stamped visited arrays and reusable result buffers recycled
+// through the index's sync.Pool) from many goroutines at once, mixing the
+// Query, QueryIDs and QueryTopK entry points so scratches are constantly
+// recycled across goroutines. Run with -race: the pool must never hand the
+// same scratch to two in-flight queries, and results must match the
+// single-threaded reference on every repetition.
+func TestConcurrentPooledScratch(t *testing.T) {
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 1500, Seed: 23})
+	h := minhash.NewHasher(128, 23)
+	recs := datagen.Records(corpus, h)
+	idx, err := lshensemble.Build(recs, lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datagen.SampleQueries(corpus, 30, 23)
+	thresholds := []float64{0.25, 0.5, 0.75}
+
+	want := make(map[[2]int]int) // (query, threshold) → result count
+	for i, qi := range queries {
+		for j, ts := range thresholds {
+			want[[2]int{i, j}] = len(idx.QueryIDs(recs[qi].Sig, recs[qi].Size, ts))
+		}
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 40; rep++ {
+				i := (w*7 + rep) % len(queries)
+				j := (w + rep) % len(thresholds)
+				qi := queries[i]
+				var got int
+				switch rep % 3 {
+				case 0:
+					got = len(idx.QueryIDs(recs[qi].Sig, recs[qi].Size, thresholds[j]))
+				case 1:
+					got = len(idx.Query(recs[qi].Sig, recs[qi].Size, thresholds[j]))
+				default:
+					ids := idx.QueryIDsAppend(nil, recs[qi].Sig, recs[qi].Size, thresholds[j])
+					got = len(ids)
+				}
+				if got != want[[2]int{i, j}] {
+					errs <- fmt.Errorf("worker %d rep %d: query %d t*=%v returned %d results, want %d",
+						w, rep, i, thresholds[j], got, want[[2]int{i, j}])
+					return
+				}
+				if rep%5 == 0 {
+					if top := idx.QueryTopK(recs[qi].Sig, recs[qi].Size, 5); len(top) == 0 {
+						errs <- fmt.Errorf("worker %d rep %d: empty top-k for self query", w, rep)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestPublicTopK(t *testing.T) {
 	h := lshensemble.NewHasher(256, 1)
 	var records []lshensemble.DomainRecord

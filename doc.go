@@ -42,6 +42,32 @@
 //	if err != nil { ... }
 //	matches := index.Query(querySig, len(queryValues), 0.7)
 //
+// # Performance notes
+//
+// The storage and query hot paths are laid out for cache locality and zero
+// steady-state allocation:
+//
+//   - Every LSH forest keeps all signatures in one contiguous []uint64
+//     backing store (stride NumHash) instead of per-entry slices, plus a
+//     flat per-tree column of leading hash values. Probes binary-search the
+//     contiguous column and only touch the backing store to resolve deeper
+//     prefixes, so a probe no longer chases a pointer per comparison.
+//   - Trees are rebuilt with an LSD radix sort on the leading hash value
+//     (near-uniform in [0, 2^61)), falling back to comparison sorting only
+//     inside runs of equal leading values. Rebuilds are ~3x faster than the
+//     previous closure-comparator sort.Slice.
+//   - Corpus sketching uses a batched permutation-major path
+//     (Hasher.PushHashedBlock) that streams L1-sized blocks of base hashes
+//     through four permutations at a time.
+//   - Queries deduplicate candidates with generation-stamped visited arrays
+//     and reusable result buffers recycled through a sync.Pool — no maps,
+//     no goroutine spawned per partition. Index stays safe for concurrent
+//     queries; Index.QueryIDsAppend with a reused destination buffer is
+//     fully allocation-free in steady state, and Query/QueryIDs allocate
+//     only their result slice.
+//
+// See ROADMAP.md for representative before/after benchmark numbers.
+//
 // See examples/ for runnable programs, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for the reproduction of every table and figure in the
 // paper's evaluation.

@@ -1,0 +1,3 @@
+module lshensemble
+
+go 1.22

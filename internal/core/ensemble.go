@@ -53,8 +53,11 @@ type Options struct {
 	// Partitioner chooses the partitioning strategy. Default
 	// partition.EquiDepth (optimal for power-law distributions).
 	Partitioner PartitionerFunc
-	// Sequential disables concurrent per-partition probing (useful for
-	// deterministic profiling).
+	// Sequential is retained for configuration compatibility. The query
+	// path now probes partitions sequentially with pooled, allocation-free
+	// scratch in every mode (a goroutine per partition per query cost more
+	// than the probes it parallelized); concurrency across queries is the
+	// caller's, and remains safe.
 	Sequential bool
 }
 
@@ -98,10 +101,47 @@ type Index struct {
 	opts  Options
 	keys  []string
 	sizes []int
-	sigs  []minhash.Signature // per id; same backing arrays as the forests
+	sigs  []minhash.Signature // per id; views into the forests' flat stores after Reindex/Decode
 	parts []part
 	opt   *tune.Optimizer
 	dirty bool
+
+	// scratch pools *queryScratch values so steady-state queries allocate
+	// nothing: dedup uses a generation-stamped visited array instead of a
+	// fresh map, and result ids accumulate in a reused buffer.
+	scratch sync.Pool
+}
+
+// queryScratch is the per-query working memory recycled through
+// Index.scratch. visited[id] == gen marks id as already reported for the
+// query stamped gen; bumping gen invalidates every mark in O(1).
+type queryScratch struct {
+	gen     uint32
+	visited []uint32
+	ids     []uint32
+}
+
+// acquireScratch fetches (or creates) a scratch sized for the current
+// corpus and advances its generation stamp.
+func (x *Index) acquireScratch() *queryScratch {
+	s, _ := x.scratch.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	if len(s.visited) < len(x.keys) {
+		s.visited = make([]uint32, len(x.keys))
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 { // generation counter wrapped: stale stamps could alias
+		clear(s.visited)
+		s.gen = 1
+	}
+	return s
+}
+
+func (x *Index) releaseScratch(s *queryScratch) {
+	x.scratch.Put(s)
 }
 
 // ErrEmpty is returned by Build when no records are given.
@@ -219,6 +259,15 @@ func (x *Index) Reindex() {
 		}()
 	}
 	wg.Wait()
+	// Re-point the id → signature table at the forests' flat stores so the
+	// caller-provided signature slices can be collected; otherwise every
+	// signature would stay resident twice (the caller's slice pinned here
+	// and the forest's contiguous copy).
+	for i := range x.parts {
+		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
+			x.sigs[id] = sig
+		})
+	}
 	x.dirty = false
 }
 
@@ -254,12 +303,29 @@ func (x *Index) PartitionBounds() []partition.Partition {
 // exact size when known, or minhash.Signature.Cardinality's estimate —
 // Algorithm 1's approx(|Q|)). tStar is the containment threshold t*.
 func (x *Index) QueryIDs(sig minhash.Signature, querySize int, tStar float64) []uint32 {
+	return x.QueryIDsAppend(nil, sig, querySize, tStar)
+}
+
+// QueryIDsAppend is QueryIDs appending into dst (which may be nil). Reusing
+// dst across queries makes the steady-state query path allocation-free.
+func (x *Index) QueryIDsAppend(dst []uint32, sig minhash.Signature, querySize int, tStar float64) []uint32 {
 	if x.dirty {
 		panic("core: Query after Add without Reindex")
 	}
 	if querySize <= 0 || len(x.keys) == 0 {
-		return nil
+		return dst
 	}
+	s := x.acquireScratch()
+	dst = x.queryInto(dst, s, sig, querySize, tStar)
+	x.releaseScratch(s)
+	return dst
+}
+
+// queryInto probes every partition sequentially, deduplicating against the
+// scratch's generation-stamped visited array, and appends candidate ids to
+// dst. Partitions are disjoint by construction, so the dedup only ever
+// collapses the multiple trees of a single forest reporting the same id.
+func (x *Index) queryInto(dst []uint32, s *queryScratch, sig minhash.Signature, querySize int, tStar float64) []uint32 {
 	if tStar < 0 {
 		tStar = 0
 	}
@@ -267,61 +333,46 @@ func (x *Index) QueryIDs(sig minhash.Signature, querySize int, tStar float64) []
 		tStar = 1
 	}
 	q := float64(querySize)
-	if x.opts.Sequential || len(x.parts) == 1 {
-		var out []uint32
-		seen := make(map[uint32]struct{})
-		for i := range x.parts {
-			out = x.queryPart(&x.parts[i], sig, q, tStar, seen, out)
-		}
-		return out
-	}
-	// Concurrent per-partition probing; results are unioned. Partitions are
-	// disjoint by construction so cross-partition dedup is unnecessary.
-	results := make([][]uint32, len(x.parts))
-	var wg sync.WaitGroup
+	visited, gen := s.visited, s.gen
 	for i := range x.parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = x.queryPart(&x.parts[i], sig, q, tStar, make(map[uint32]struct{}), nil)
-		}(i)
+		p := &x.parts[i]
+		if p.forest.Len() == 0 {
+			continue
+		}
+		u := float64(p.upper)
+		// No domain in this partition can reach the threshold when u/q < t*:
+		// containment is at most x/q ≤ u/q.
+		if tStar > 0 && u/q < tStar {
+			continue
+		}
+		params := x.opt.Optimize(u, q, tStar)
+		p.forest.Query(sig, params.B, params.R, func(id uint32) bool {
+			if visited[id] != gen {
+				visited[id] = gen
+				dst = append(dst, id)
+			}
+			return true
+		})
 	}
-	wg.Wait()
-	var out []uint32
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
-}
-
-// queryPart probes one partition with its tuned configuration.
-func (x *Index) queryPart(p *part, sig minhash.Signature, q, tStar float64,
-	seen map[uint32]struct{}, out []uint32) []uint32 {
-	if p.forest.Len() == 0 {
-		return out
-	}
-	u := float64(p.upper)
-	// No domain in this partition can reach the threshold when u/q < t*:
-	// containment is at most x/q ≤ u/q.
-	if tStar > 0 && u/q < tStar {
-		return out
-	}
-	params := x.opt.Optimize(u, q, tStar)
-	p.forest.QueryDedup(sig, params.B, params.R, seen, func(id uint32) bool {
-		out = append(out, id)
-		return true
-	})
-	return out
+	return dst
 }
 
 // Query returns the keys of all candidate domains for the query signature.
 // See QueryIDs for parameter semantics.
 func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
-	ids := x.QueryIDs(sig, querySize, tStar)
-	out := make([]string, len(ids))
-	for i, id := range ids {
+	if x.dirty {
+		panic("core: Query after Add without Reindex")
+	}
+	if querySize <= 0 || len(x.keys) == 0 {
+		return nil
+	}
+	s := x.acquireScratch()
+	s.ids = x.queryInto(s.ids[:0], s, sig, querySize, tStar)
+	out := make([]string, len(s.ids))
+	for i, id := range s.ids {
 		out[i] = x.keys[id]
 	}
+	x.releaseScratch(s)
 	return out
 }
 
@@ -403,18 +454,33 @@ func Decode(buf []byte) (*Index, []byte, error) {
 		if err != nil {
 			return nil, rest, err
 		}
+		if f.NumHash() != opts.NumHash || f.RMax() != opts.RMax {
+			// A forest disagreeing with the index header would panic at
+			// query time (tuned (b, r) out of its range) and yield
+			// wrong-length signatures; reject it as corruption here.
+			return nil, rest, fmt.Errorf("core: partition forest shape (%d, %d) != index header (%d, %d): %w",
+				f.NumHash(), f.RMax(), opts.NumHash, opts.RMax, ErrCorrupt)
+		}
 		buf = rest
 		x.parts = append(x.parts, part{lower: lower, upper: upper, forest: f})
 	}
 	// Rebuild the id → signature table from the forests (each id lives in
-	// exactly one partition).
+	// exactly one partition). Ids must stay within [0, len(keys)): the query
+	// path indexes its visited array by id, so out-of-range ids in a
+	// decoded forest are corruption, not something to skip silently.
 	x.sigs = make([]minhash.Signature, len(x.keys))
+	badID := false
 	for i := range x.parts {
 		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
 			if int(id) < len(x.sigs) {
 				x.sigs[id] = sig
+			} else {
+				badID = true
 			}
 		})
+	}
+	if badID {
+		return nil, buf, fmt.Errorf("core: decoded forest contains out-of-range id: %w", ErrCorrupt)
 	}
 	for i, s := range x.sigs {
 		if s == nil {

@@ -35,23 +35,35 @@ var topKThresholds = func() []float64 {
 // Results are approximate in the same sense as Query: candidates come from
 // LSH collisions and scores from sketches.
 func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []TopKResult {
-	if k <= 0 || querySize <= 0 {
+	if x.dirty {
+		panic("core: Query after Add without Reindex")
+	}
+	if k <= 0 || querySize <= 0 || len(x.keys) == 0 {
 		return nil
 	}
-	seen := make(map[uint32]struct{})
+	// Stored signatures are exactly NumHash long (forest flat store); clamp
+	// the query signature so the slot-wise Jaccard estimate lines up.
+	if len(sig) > x.opts.NumHash {
+		sig = sig[:x.opts.NumHash]
+	}
+	// One scratch generation spans the whole ladder walk: queryInto's
+	// visited stamps persist across rungs, so each lower threshold appends
+	// only ids not already collected by a higher one.
+	s := x.acquireScratch()
+	ids := s.ids[:0]
 	for _, tStar := range topKThresholds {
-		for _, id := range x.QueryIDs(sig, querySize, tStar) {
-			seen[id] = struct{}{}
-		}
-		if len(seen) >= k {
+		ids = x.queryInto(ids, s, sig, querySize, tStar)
+		if len(ids) >= k {
 			break
 		}
 	}
-	results := make([]TopKResult, 0, len(seen))
-	for id := range seen {
+	results := make([]TopKResult, 0, len(ids))
+	for _, id := range ids {
 		est := sig.Containment(x.sigOf(id), float64(querySize), float64(x.sizes[id]))
 		results = append(results, TopKResult{Key: x.keys[id], EstContainment: est})
 	}
+	s.ids = ids
+	x.releaseScratch(s)
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].EstContainment != results[j].EstContainment {
 			return results[i].EstContainment > results[j].EstContainment

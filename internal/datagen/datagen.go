@@ -328,11 +328,7 @@ func Records(c *Corpus, h *minhash.Hasher) []core.Record {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				d := c.Domains[i]
-				sig := h.NewSignature()
-				for _, v := range d.Values {
-					h.PushHashed(sig, minhash.HashUint64(v))
-				}
-				recs[i] = core.Record{Key: d.Key, Size: len(d.Values), Sig: sig}
+				recs[i] = core.Record{Key: d.Key, Size: len(d.Values), Sig: h.SketchUint64s(d.Values)}
 			}
 		}(lo, hi)
 	}

@@ -12,13 +12,21 @@
 // binary-searched range scan. This supports any (b, r) with b ≤ bMax and
 // r ≤ rMax, hence b·r ≤ bMax·rMax ≤ m as required by the paper's tuning
 // constraint (Eq. 25).
+//
+// Storage layout: all signatures live in one contiguous []uint64 backing
+// store with stride numHash, and every tree additionally keeps a flat column
+// of its first hash value in sorted order. Probes binary-search that
+// contiguous column (no pointer chasing through per-entry slice headers) and
+// only fall back to the backing store to resolve prefixes deeper than one
+// value. Trees are built with an LSD radix sort on the leading hash value —
+// hash values are near-uniform in [0, 2^61), so ties needing the deeper
+// comparison sort are rare.
 package lshforest
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Forest is a dynamic-(b,r) MinHash LSH index over integer domain ids.
@@ -29,9 +37,11 @@ type Forest struct {
 	rMax    int
 	bMax    int
 
-	sigs  [][]uint64 // signature per inserted entry, indexed by slot
-	ids   []uint32   // caller-assigned id per inserted entry
-	trees [][]uint32 // per tree: slot indices sorted by that tree's hash vector
+	store []uint64 // contiguous signatures, stride numHash; entry i at [i*numHash, (i+1)*numHash)
+	ids   []uint32 // caller-assigned id per inserted entry
+
+	trees    [][]uint32 // per tree: slot indices sorted by that tree's hash vector
+	treeKeys [][]uint64 // per tree: leading hash value of each sorted slot (contiguous search column)
 
 	indexed bool
 }
@@ -68,50 +78,203 @@ func (f *Forest) Len() int { return len(f.ids) }
 // Indexed reports whether Index has been called since the last Add.
 func (f *Forest) Indexed() bool { return f.indexed }
 
-// Add inserts a (id, signature) pair. The signature is retained by
-// reference; callers must not mutate it afterwards. Add invalidates the
-// index; call Index before querying again.
+// Add inserts a (id, signature) pair. The signature is copied into the
+// forest's contiguous backing store; the caller keeps ownership of sig. Add
+// invalidates the index; call Index before querying again.
 func (f *Forest) Add(id uint32, sig []uint64) {
 	if len(sig) < f.bMax*f.rMax {
 		panic(fmt.Sprintf("lshforest: signature length %d < required %d", len(sig), f.bMax*f.rMax))
 	}
-	f.sigs = append(f.sigs, sig)
+	n := f.numHash
+	if len(sig) > n {
+		sig = sig[:n]
+	}
+	f.store = append(f.store, sig...)
+	// Signatures shorter than numHash (allowed when bMax*rMax < numHash)
+	// are zero-padded so every entry occupies exactly one stride.
+	for pad := n - len(sig); pad > 0; pad-- {
+		f.store = append(f.store, 0)
+	}
 	f.ids = append(f.ids, id)
 	f.indexed = false
+}
+
+// sigAt returns the stored signature of the entry in the given slot as a
+// view into the backing store.
+func (f *Forest) sigAt(slot int) []uint64 {
+	base := slot * f.numHash
+	return f.store[base : base+f.numHash : base+f.numHash]
 }
 
 // Index (re)builds the sorted trees. It is idempotent and must be called
 // after the last Add and before the first Query.
 func (f *Forest) Index() {
-	n := len(f.sigs)
+	n := len(f.ids)
+	if n == 0 {
+		// Nothing to sort and nothing to probe; skipping the per-tree
+		// allocations here also keeps DecodeForest's cost proportional to
+		// its input for empty encodings with an enormous declared numHash.
+		f.indexed = true
+		return
+	}
 	if f.trees == nil {
 		f.trees = make([][]uint32, f.bMax)
+		f.treeKeys = make([][]uint64, f.bMax)
 	}
+	// Shared scratch reused across trees: the radix sort ping-pongs between
+	// the order/keys arrays and these temporaries.
+	var (
+		tmpOrder = make([]uint32, n)
+		keys     = make([]uint64, n)
+		tmpKeys  = make([]uint64, n)
+	)
 	for t := 0; t < f.bMax; t++ {
 		off := t * f.rMax
-		order := make([]uint32, n)
+		order := f.trees[t]
+		if cap(order) < n {
+			order = make([]uint32, n)
+		}
+		order = order[:n]
 		for i := range order {
 			order[i] = uint32(i)
 		}
-		sort.Slice(order, func(a, b int) bool {
-			sa := f.sigs[order[a]][off : off+f.rMax]
-			sb := f.sigs[order[b]][off : off+f.rMax]
-			for k := 0; k < f.rMax; k++ {
-				if sa[k] != sb[k] {
-					return sa[k] < sb[k]
-				}
-			}
-			return false
-		})
+		f.sortByPrefix(order, tmpOrder[:n], keys[:n], tmpKeys[:n], off, 0)
+		// Rebuild the contiguous leading-value column in sorted order (the
+		// sort scratch may have been clobbered by tie-break recursion).
+		col := f.treeKeys[t]
+		if cap(col) < n {
+			col = make([]uint64, n)
+		}
+		col = col[:n]
+		for i, s := range order {
+			col[i] = f.store[int(s)*f.numHash+off]
+		}
 		f.trees[t] = order
+		f.treeKeys[t] = col
 	}
 	f.indexed = true
 }
 
-// compareAt compares entry slot's tree-t hash vector prefix of length r
-// against the query prefix. Returns -1, 0, or 1.
-func (f *Forest) compareAt(slot uint32, off, r int, q []uint64) int {
-	s := f.sigs[slot][off : off+r]
+// sortByPrefix sorts order by the hash values store[slot*stride+off+depth ..
+// off+rMax-1], least significant last (lexicographic). It radix-sorts on the
+// value at the current depth and recurses into runs of equal values for the
+// deeper tie-break; tiny ranges use insertion sort on the full remaining
+// prefix instead.
+func (f *Forest) sortByPrefix(order, tmpOrder []uint32, keys, tmpKeys []uint64, off, depth int) {
+	if depth >= f.rMax || len(order) < 2 {
+		return
+	}
+	if len(order) <= 12 {
+		f.insertionSortSuffix(order, off+depth, f.rMax-depth)
+		return
+	}
+	stride := f.numHash
+	col := off + depth
+	for i, s := range order {
+		keys[i] = f.store[int(s)*stride+col]
+	}
+	radixSortPairs(keys, order, tmpKeys, tmpOrder)
+	// Recurse into runs of equal keys. Reading keys[start] before any
+	// recursion clobbers that subrange keeps the run detection sound: a
+	// recursive call only rewrites keys strictly before the next run start.
+	start := 0
+	for i := 1; i <= len(order); i++ {
+		if i < len(order) && keys[i] == keys[start] {
+			continue
+		}
+		if i-start > 1 {
+			f.sortByPrefix(order[start:i], tmpOrder[start:i], keys[start:i], tmpKeys[start:i], off, depth+1)
+		}
+		start = i
+	}
+}
+
+// insertionSortSuffix sorts order lexicographically by the r hash values at
+// offset off of each slot's stored signature.
+func (f *Forest) insertionSortSuffix(order []uint32, off, r int) {
+	stride := f.numHash
+	for i := 1; i < len(order); i++ {
+		s := order[i]
+		base := int(s)*stride + off
+		j := i
+		for j > 0 {
+			other := int(order[j-1])*stride + off
+			if !lexLess(f.store[base:base+r], f.store[other:other+r]) {
+				break
+			}
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = s
+	}
+}
+
+// lexLess reports whether a < b lexicographically; the slices have equal
+// length.
+func lexLess(a, b []uint64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// radixSortPairs sorts (keys, vals) pairs by key with an LSD byte-wise radix
+// sort, skipping passes over bytes that are constant across all keys (hash
+// values occupy 61 bits, and small test universes collapse to one or two
+// live bytes). The sorted result is guaranteed to land back in keys/vals;
+// tmpKeys/tmpVals are scratch of the same length.
+func radixSortPairs(keys []uint64, vals []uint32, tmpKeys []uint64, tmpVals []uint32) {
+	orAll, andAll := uint64(0), ^uint64(0)
+	for _, k := range keys {
+		orAll |= k
+		andAll &= k
+	}
+	diff := orAll ^ andAll // bytes where any two keys disagree
+	if diff == 0 {
+		return
+	}
+	origKeys, origVals := keys, vals
+	var count [256]int
+	flipped := false
+	for shift := 0; shift < 64; shift += 8 {
+		if (diff>>shift)&0xff == 0 {
+			continue
+		}
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range keys {
+			count[(k>>shift)&0xff]++
+		}
+		sum := 0
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range keys {
+			b := (k >> shift) & 0xff
+			j := count[b]
+			count[b]++
+			tmpKeys[j] = k
+			tmpVals[j] = vals[i]
+		}
+		keys, tmpKeys = tmpKeys, keys
+		vals, tmpVals = tmpVals, vals
+		flipped = !flipped
+	}
+	if flipped {
+		copy(origKeys, keys)
+		copy(origVals, vals)
+	}
+}
+
+// compareSuffix compares the stored hash values of slot at [base, base+r)
+// against q. Returns -1, 0, or 1.
+func (f *Forest) compareSuffix(base, r int, q []uint64) int {
+	s := f.store[base : base+r]
 	for k := 0; k < r; k++ {
 		if s[k] != q[k] {
 			if s[k] < q[k] {
@@ -138,16 +301,61 @@ func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
 	if r <= 0 || r > f.rMax {
 		panic(fmt.Sprintf("lshforest: r %d out of range [1, %d]", r, f.rMax))
 	}
+	n := len(f.ids)
+	if n == 0 {
+		return // indexed empty forest has no trees to probe
+	}
+	stride := f.numHash
 	for t := 0; t < b; t++ {
 		off := t * f.rMax
-		q := sig[off : off+r]
+		q0 := sig[off]
+		col := f.treeKeys[t]
 		order := f.trees[t]
-		// Lower bound: first entry with prefix >= q.
-		lo := sort.Search(len(order), func(i int) bool {
-			return f.compareAt(order[i], off, r, q) >= 0
-		})
-		for i := lo; i < len(order); i++ {
-			if f.compareAt(order[i], off, r, q) != 0 {
+		// Equal range of the leading value on the contiguous key column.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if col[mid] < q0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		left := lo
+		hi = n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if col[mid] <= q0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		right := lo
+		if left == right {
+			continue
+		}
+		if r == 1 {
+			for i := left; i < right; i++ {
+				if !fn(f.ids[order[i]]) {
+					return
+				}
+			}
+			continue
+		}
+		// Refine by the remaining r-1 prefix values within the equal-q0 run.
+		qs := sig[off+1 : off+r]
+		lo, hi = left, right
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if f.compareSuffix(int(order[mid])*stride+off+1, r-1, qs) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for i := lo; i < right; i++ {
+			if f.compareSuffix(int(order[i])*stride+off+1, r-1, qs) != 0 {
 				break
 			}
 			if !fn(f.ids[order[i]]) {
@@ -158,10 +366,11 @@ func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
 }
 
 // Each invokes fn for every (id, signature) pair stored in the forest, in
-// insertion order. The signature must not be mutated.
+// insertion order. The signature is a view into the forest's backing store
+// and must not be mutated.
 func (f *Forest) Each(fn func(id uint32, sig []uint64)) {
 	for i, id := range f.ids {
-		fn(id, f.sigs[i])
+		fn(id, f.sigAt(i))
 	}
 }
 
@@ -197,7 +406,7 @@ func (f *Forest) AppendBinary(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.ids)))
 	for i, id := range f.ids {
 		buf = binary.LittleEndian.AppendUint32(buf, id)
-		for _, v := range f.sigs[i][:f.numHash] {
+		for _, v := range f.sigAt(i) {
 			buf = binary.LittleEndian.AppendUint64(buf, v)
 		}
 	}
@@ -205,7 +414,11 @@ func (f *Forest) AppendBinary(buf []byte) []byte {
 }
 
 // DecodeForest decodes a forest from the front of buf, rebuilds its trees,
-// and returns the remaining bytes.
+// and returns the remaining bytes. Header fields are validated against the
+// actual buffer length in 64-bit arithmetic before any allocation, so a
+// hostile header cannot trigger integer overflow or an over-allocation:
+// with n >= 1 every allocation is bounded by a multiple of len(buf), and an
+// empty forest allocates nothing regardless of its declared numHash.
 func DecodeForest(buf []byte) (*Forest, []byte, error) {
 	if len(buf) < 16 {
 		return nil, buf, ErrCorrupt
@@ -220,20 +433,25 @@ func DecodeForest(buf []byte) (*Forest, []byte, error) {
 	if numHash <= 0 || rMax <= 0 || rMax > numHash || n < 0 {
 		return nil, buf, ErrCorrupt
 	}
-	need := n * (4 + 8*numHash)
-	if len(buf) < need {
+	// Each entry occupies 4 + 8*numHash bytes. Both factors come from
+	// attacker-controlled uint32 header fields, so the product can exceed
+	// 63 bits; dividing the known-good buffer length instead of multiplying
+	// keeps the check overflow-free.
+	perEntry := 4 + 8*uint64(uint32(numHash))
+	if uint64(n) > uint64(len(buf))/perEntry {
 		return nil, buf, ErrCorrupt
 	}
 	f := New(numHash, rMax)
+	f.ids = make([]uint32, n)
+	f.store = make([]uint64, n*numHash)
 	for i := 0; i < n; i++ {
-		id := binary.LittleEndian.Uint32(buf)
+		f.ids[i] = binary.LittleEndian.Uint32(buf)
 		buf = buf[4:]
-		sig := make([]uint64, numHash)
+		sig := f.store[i*numHash : (i+1)*numHash]
 		for k := range sig {
 			sig[k] = binary.LittleEndian.Uint64(buf)
 			buf = buf[8:]
 		}
-		f.Add(id, sig)
 	}
 	f.Index()
 	return f, buf, nil

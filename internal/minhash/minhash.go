@@ -131,13 +131,95 @@ func HashUint64(v uint64) uint64 {
 	return xrand.Mix(v) % MersennePrime
 }
 
-// PushHashed folds an already base-hashed value into the signature.
+// PushHashed folds an already base-hashed value into the signature. The
+// inner loop is unrolled four permutations at a time: the four mulAddMod61
+// chains are independent, so the CPU can overlap their multiply latencies.
 func (h *Hasher) PushHashed(sig Signature, hv uint64) {
-	for i, a := range h.a {
-		x := mulAddMod61(a, hv, h.b[i])
+	a, b := h.a, h.b
+	sig = sig[:len(a)]
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		x0 := mulAddMod61(a[i], hv, b[i])
+		x1 := mulAddMod61(a[i+1], hv, b[i+1])
+		x2 := mulAddMod61(a[i+2], hv, b[i+2])
+		x3 := mulAddMod61(a[i+3], hv, b[i+3])
+		if x0 < sig[i] {
+			sig[i] = x0
+		}
+		if x1 < sig[i+1] {
+			sig[i+1] = x1
+		}
+		if x2 < sig[i+2] {
+			sig[i+2] = x2
+		}
+		if x3 < sig[i+3] {
+			sig[i+3] = x3
+		}
+	}
+	for ; i < len(a); i++ {
+		x := mulAddMod61(a[i], hv, b[i])
 		if x < sig[i] {
 			sig[i] = x
 		}
+	}
+}
+
+// sketchBlockSize bounds the number of base hashes the permutation-major
+// inner loops stream over at once. 256 values (2 KiB) stay resident in L1
+// across all permutations.
+const sketchBlockSize = 256
+
+// PushHashedBlock folds a block of already base-hashed values into the
+// signature. It runs permutation-major over L1-sized chunks: for each
+// permutation the (a_i, b_i) pair stays in registers while the chunk streams
+// through the cache once per four permutations, and the slot minimum is
+// written back once per permutation instead of once per value. This is the
+// batched path corpus sketching should use.
+func (h *Hasher) PushHashedBlock(sig Signature, hvs []uint64) {
+	for len(hvs) > sketchBlockSize {
+		h.pushHashedChunk(sig, hvs[:sketchBlockSize])
+		hvs = hvs[sketchBlockSize:]
+	}
+	h.pushHashedChunk(sig, hvs)
+}
+
+func (h *Hasher) pushHashedChunk(sig Signature, hvs []uint64) {
+	ha, hb := h.a, h.b
+	sig = sig[:len(ha)]
+	hb = hb[:len(ha)]
+	i := 0
+	for ; i+4 <= len(ha); i += 4 {
+		a0, b0 := ha[i], hb[i]
+		a1, b1 := ha[i+1], hb[i+1]
+		a2, b2 := ha[i+2], hb[i+2]
+		a3, b3 := ha[i+3], hb[i+3]
+		m0, m1, m2, m3 := sig[i], sig[i+1], sig[i+2], sig[i+3]
+		for _, hv := range hvs {
+			if x := mulAddMod61(a0, hv, b0); x < m0 {
+				m0 = x
+			}
+			if x := mulAddMod61(a1, hv, b1); x < m1 {
+				m1 = x
+			}
+			if x := mulAddMod61(a2, hv, b2); x < m2 {
+				m2 = x
+			}
+			if x := mulAddMod61(a3, hv, b3); x < m3 {
+				m3 = x
+			}
+		}
+		sig[i], sig[i+1], sig[i+2], sig[i+3] = m0, m1, m2, m3
+	}
+	for ; i < len(ha); i++ {
+		a, b := ha[i], hb[i]
+		m := sig[i]
+		for _, hv := range hvs {
+			if x := mulAddMod61(a, hv, b); x < m {
+				m = x
+			}
+		}
+		sig[i] = m
 	}
 }
 
@@ -154,17 +236,42 @@ func (h *Hasher) PushString(sig Signature, s string) {
 // Sketch builds a signature over a slice of already base-hashed values.
 func (h *Hasher) Sketch(hashedValues []uint64) Signature {
 	sig := h.NewSignature()
-	for _, hv := range hashedValues {
-		h.PushHashed(sig, hv)
-	}
+	h.PushHashedBlock(sig, hashedValues)
 	return sig
 }
 
 // SketchStrings builds a signature over a slice of string values.
 func (h *Hasher) SketchStrings(values []string) Signature {
 	sig := h.NewSignature()
+	var block [sketchBlockSize]uint64
+	n := 0
 	for _, v := range values {
-		h.PushString(sig, v)
+		block[n] = HashString(v)
+		n++
+		if n == len(block) {
+			h.PushHashedBlock(sig, block[:])
+			n = 0
+		}
+	}
+	h.PushHashedBlock(sig, block[:n])
+	return sig
+}
+
+// SketchUint64s builds a signature over a slice of integer-valued domain
+// elements (base-hashed with HashUint64), batching through the block path.
+func (h *Hasher) SketchUint64s(values []uint64) Signature {
+	sig := h.NewSignature()
+	var block [sketchBlockSize]uint64
+	for len(values) > 0 {
+		m := len(values)
+		if m > len(block) {
+			m = len(block)
+		}
+		for j := 0; j < m; j++ {
+			block[j] = HashUint64(values[j])
+		}
+		h.PushHashedBlock(sig, block[:m])
+		values = values[m:]
 	}
 	return sig
 }
