@@ -449,3 +449,100 @@ func BenchmarkSerialization(b *testing.B) {
 		}
 	})
 }
+
+// --- Parallel construction + batch serving (the multicore engine) ---
+
+// BenchmarkBuildParallel measures full ensemble construction — partition
+// routing, per-partition signature copy into Reserve-sized stores, and the
+// flattened parallel tree rebuild. Run with -cpu 1,4,8 to see the worker
+// pools scale; the -cpu 1 result doubles as the single-thread regression
+// guard against the PR 1 numbers.
+func BenchmarkBuildParallel(b *testing.B) {
+	f := webTableFixture(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBatchThroughput measures steady-state batch serving through
+// QueryBatchInto with a reused BatchResults — the allocation-free
+// high-throughput path. Reported as queries/s; run with -cpu 1,4,8.
+func BenchmarkQueryBatchThroughput(b *testing.B) {
+	f := webTableFixture(b, 10000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]lshensemble.BatchQuery, 256)
+	for i := range batch {
+		qi := f.queries[i%len(f.queries)]
+		batch[i] = lshensemble.BatchQuery{Sig: f.records[qi].Sig, Size: f.records[qi].Size, Threshold: 0.5}
+	}
+	var res lshensemble.BatchResults
+	idx.QueryBatchInto(&res, batch, 0) // warm pools and tuning cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.QueryBatchInto(&res, batch, 0)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+	}
+}
+
+// BenchmarkQueryBatchVsSerial pins the same workload through the serial
+// QueryIDsAppend loop for an apples-to-apples batch-engine comparison.
+func BenchmarkQueryBatchVsSerial(b *testing.B) {
+	f := webTableFixture(b, 10000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]lshensemble.BatchQuery, 256)
+	for i := range batch {
+		qi := f.queries[i%len(f.queries)]
+		batch[i] = lshensemble.BatchQuery{Sig: f.records[qi].Sig, Size: f.records[qi].Size, Threshold: 0.5}
+	}
+	var ids []uint32
+	for _, q := range batch {
+		ids = idx.QueryIDsAppend(ids[:0], q.Sig, q.Size, q.Threshold)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range batch {
+			ids = idx.QueryIDsAppend(ids[:0], q.Sig, q.Size, q.Threshold)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(batch))/secs, "queries/s")
+	}
+}
+
+// BenchmarkParallelQueryIDs measures the intra-query mode on a wide
+// ensemble (32 partitions), against QueryIDs on the same shape.
+func BenchmarkParallelQueryIDs(b *testing.B) {
+	f := webTableFixture(b, 10000)
+	idx, err := lshensemble.Build(f.records, lshensemble.Options{NumPartitions: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qi := f.queries[0]
+	idx.QueryIDs(f.records[qi].Sig, f.records[qi].Size, 0.25)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qi := f.queries[i%len(f.queries)]
+			idx.QueryIDs(f.records[qi].Sig, f.records[qi].Size, 0.25)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qi := f.queries[i%len(f.queries)]
+			idx.ParallelQueryIDs(f.records[qi].Sig, f.records[qi].Size, 0.25, 0)
+		}
+	})
+}

@@ -6,6 +6,7 @@
 //
 //	lshed index  -data <dir> [-out index.bin] [-partitions 16] [-hashes 256] [-minsize 10]
 //	lshed query  -index index.bin -file <table.csv> -column <name> [-t 0.7]
+//	lshed query  -index index.bin -file <table.csv> -batch [-workers N] [-t 0.7]   (every column, one dispatch)
 //	lshed search -data <dir> -file <table.csv> -column <name> [-t 0.7]   (index + query in one shot)
 //	lshed stats  -index index.bin
 package main
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"lshensemble"
+	"lshensemble/internal/par"
 	"lshensemble/internal/tabular"
 )
 
@@ -63,6 +65,17 @@ subcommands:
 run "lshed <subcommand> -h" for flags`)
 }
 
+// sketchColumns sketches every column with a worker pool — column sketching
+// is embarrassingly parallel and dominates indexing wall-clock on wide data
+// lakes.
+func sketchColumns(h *lshensemble.Hasher, cols []tabular.Column) []lshensemble.DomainRecord {
+	recs := make([]lshensemble.DomainRecord, len(cols))
+	par.Drain(len(cols), 0, func(_, i int) {
+		recs[i] = lshensemble.SketchStrings(h, cols[i].Key, cols[i].Values)
+	})
+	return recs
+}
+
 func buildRecords(dir string, minSize, numHash int) ([]lshensemble.DomainRecord, *lshensemble.Hasher, error) {
 	cols, err := tabular.FromDir(dir, tabular.Options{MinSize: minSize})
 	if err != nil {
@@ -72,11 +85,7 @@ func buildRecords(dir string, minSize, numHash int) ([]lshensemble.DomainRecord,
 		return nil, nil, fmt.Errorf("no usable columns found in %s", dir)
 	}
 	h := lshensemble.NewHasher(numHash, hashSeed)
-	recs := make([]lshensemble.DomainRecord, len(cols))
-	for i, c := range cols {
-		recs[i] = lshensemble.SketchStrings(h, c.Key, c.Values)
-	}
-	return recs, h, nil
+	return sketchColumns(h, cols), h, nil
 }
 
 func cmdIndex(args []string) error {
@@ -157,15 +166,59 @@ func runQuery(idx *lshensemble.Index, h *lshensemble.Hasher, file, column string
 	return nil
 }
 
+// runBatchQuery sketches every column of the file and answers them in one
+// QueryBatch dispatch — the high-throughput serving path.
+func runBatchQuery(idx *lshensemble.Index, h *lshensemble.Hasher, file string, t float64, workers int) error {
+	cols, err := tabular.FromFile(file, tabular.Options{MinSize: -1})
+	if err != nil {
+		return err
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("no columns found in %s", file)
+	}
+	recs := sketchColumns(h, cols)
+	queries := make([]lshensemble.BatchQuery, len(recs))
+	for i, r := range recs {
+		queries[i] = lshensemble.BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: t}
+	}
+	start := time.Now()
+	rows := idx.QueryBatch(queries, workers)
+	elapsed := time.Since(start)
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	qps := "-"
+	if secs := elapsed.Seconds(); secs > 0 {
+		qps = fmt.Sprintf("%.0f queries/s", float64(len(queries))/secs)
+	}
+	fmt.Printf("batch %s: %d columns, t* = %.2f → %d candidates in %s (%s)\n",
+		file, len(queries), t, total, elapsed.Round(time.Microsecond), qps)
+	for i, row := range rows {
+		matches := make([]string, len(row))
+		for j, id := range row {
+			matches[j] = idx.Key(id)
+		}
+		sort.Strings(matches)
+		fmt.Printf("  %s (%d distinct values) → %d candidates\n", cols[i].Key, recs[i].Size, len(row))
+		for _, m := range matches {
+			fmt.Println("    ", m)
+		}
+	}
+	return nil
+}
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	index := fs.String("index", "index.bin", "index file written by lshed index")
 	file := fs.String("file", "", "CSV file holding the query column (required)")
-	column := fs.String("column", "", "query column name (required)")
+	column := fs.String("column", "", "query column name (required unless -batch)")
 	t := fs.Float64("t", 0.7, "containment threshold t*")
+	batch := fs.Bool("batch", false, "query every column of -file in one batch dispatch")
+	workers := fs.Int("workers", 0, "batch query workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
-	if *file == "" || *column == "" {
-		return fmt.Errorf("-file and -column are required")
+	if *file == "" || (*column == "" && !*batch) {
+		return fmt.Errorf("-file and -column are required (or -file with -batch)")
 	}
 	f, err := os.Open(*index)
 	if err != nil {
@@ -177,6 +230,9 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	h := lshensemble.NewHasher(idx.Options().NumHash, hashSeed)
+	if *batch {
+		return runBatchQuery(idx, h, *file, *t, *workers)
+	}
 	return runQuery(idx, h, *file, *column, *t)
 }
 
@@ -184,14 +240,16 @@ func cmdSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	data := fs.String("data", "", "directory of CSV files (required)")
 	file := fs.String("file", "", "CSV file holding the query column (required)")
-	column := fs.String("column", "", "query column name (required)")
+	column := fs.String("column", "", "query column name (required unless -batch)")
 	t := fs.Float64("t", 0.7, "containment threshold t*")
 	partitions := fs.Int("partitions", 16, "number of cardinality partitions")
 	hashes := fs.Int("hashes", 256, "MinHash signature length")
 	minSize := fs.Int("minsize", 10, "discard columns with fewer distinct values")
+	batch := fs.Bool("batch", false, "query every column of -file in one batch dispatch")
+	workers := fs.Int("workers", 0, "batch query workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
-	if *data == "" || *file == "" || *column == "" {
-		return fmt.Errorf("-data, -file and -column are required")
+	if *data == "" || *file == "" || (*column == "" && !*batch) {
+		return fmt.Errorf("-data, -file and -column are required (or -file with -batch)")
 	}
 	recs, h, err := buildRecords(*data, *minSize, *hashes)
 	if err != nil {
@@ -202,6 +260,9 @@ func cmdSearch(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *batch {
+		return runBatchQuery(idx, h, *file, *t, *workers)
 	}
 	return runQuery(idx, h, *file, *column, *t)
 }

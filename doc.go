@@ -66,6 +66,47 @@
 //     fully allocation-free in steady state, and Query/QueryIDs allocate
 //     only their result slice.
 //
+// # Parallelism model
+//
+// Construction and batch serving fan out over bounded worker pools sized by
+// GOMAXPROCS; all parallel paths degrade to the serial code at one proc.
+// Construction is bit-deterministic at any worker count, and every
+// QueryBatch row matches the serial QueryIDs answer element for element;
+// only ParallelQueryIDs returns its (deduplicated) result set in an
+// unspecified order.
+//
+//   - Build routes records to partitions serially (one binary search each),
+//     then fills the disjoint partition forests in parallel, with each
+//     forest's contiguous store pre-sized in a single allocation from the
+//     known member count (lshforest.Forest.Reserve).
+//   - Reindex flattens the rebuild into one job per (partition, tree) pair
+//     and drains the job list through a worker pool, so a few oversized
+//     partitions cannot serialize the tail. Each worker owns one
+//     lshforest.SortScratch for the radix sorts; workers never share
+//     mutable state.
+//   - Index.QueryBatch / Index.QueryBatchInto dispatch a slice of queries
+//     across workers pulling from a shared counter. Every worker owns a
+//     pooled generation-stamped dedup scratch and an append-only result
+//     arena; the arenas merge into the caller's BatchResults at the end.
+//     QueryBatchInto with a reused BatchResults performs zero per-query
+//     steady-state allocations (the whole dispatch costs a fixed handful of
+//     goroutine-spawn allocations, independent of batch size).
+//   - Index.ParallelQueryIDs splits the partitions of ONE query across
+//     workers instead. Partitions hold disjoint ids, so per-worker dedup
+//     suffices and the merge is a concatenation. Intra-query splitting wins
+//     only when single-query latency matters and the stream is too thin to
+//     batch — a wide ensemble probed by rare, expensive queries; batched
+//     traffic should always prefer QueryBatch, whose coordination cost is
+//     amortized over the whole batch rather than paid per query.
+//   - Corpus sketching: Hasher.SketchParallel shards one large pre-hashed
+//     value slice across workers (exact — shard minima merge slot-wise);
+//     cmd/lshed sketches whole columns in parallel and serves multi-column
+//     query files through one QueryBatch dispatch (-batch -workers).
+//
+// Concurrency contract: an Index is safe for any number of concurrent
+// readers (Query*, QueryBatch*, ParallelQueryIDs); Add and Reindex require
+// exclusive access, as with an RWMutex.
+//
 // See ROADMAP.md for representative before/after benchmark numbers.
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory,

@@ -24,21 +24,41 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"lshensemble/internal/core"
+	"lshensemble/internal/dedup"
 	"lshensemble/internal/lshforest"
 	"lshensemble/internal/minhash"
+	"lshensemble/internal/par"
 	"lshensemble/internal/tune"
 	"lshensemble/internal/xrand"
 )
 
-// Index is an Asymmetric Minwise Hashing containment index.
+// Index is an Asymmetric Minwise Hashing containment index. It is safe for
+// concurrent queries.
 type Index struct {
 	forest  *lshforest.Forest
 	keys    []string
 	maxSize int // M: the padded size of every indexed domain
 	numHash int
 	opt     *tune.Optimizer
+
+	// scratch pools *dedup.Set values so steady-state queries allocate only
+	// their result: dedup across the forest's trees uses a
+	// generation-stamped visited set instead of a per-query map (the same
+	// pattern as internal/core).
+	scratch sync.Pool
+}
+
+func (x *Index) acquireScratch() *dedup.Set {
+	s, _ := x.scratch.Get().(*dedup.Set)
+	if s == nil {
+		s = &dedup.Set{}
+	}
+	s.Reset(len(x.keys))
+	return s
 }
 
 // ErrEmpty is returned by Build when no records are given.
@@ -75,12 +95,23 @@ func Build(records []core.Record, numHash, rMax int) (*Index, error) {
 		numHash: numHash,
 		opt:     tune.NewOptimizer(numHash/rMax, rMax),
 	}
-	for _, r := range records {
-		padded := Pad(r.Sig[:numHash], r.Key, maxSize-r.Size)
-		x.forest.Add(uint32(len(x.keys)), padded)
+	// Padding simulation is the expensive phase (one inverse-CDF sample per
+	// slot per record), and every record pads independently — fan it out.
+	// The forest fill stays serial (appends to one contiguous store) but is
+	// pre-sized, and the tree sorts fan out again per tree.
+	padded := make([]minhash.Signature, len(records))
+	par.Chunked(len(records), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := records[i]
+			padded[i] = Pad(r.Sig[:numHash], r.Key, maxSize-r.Size)
+		}
+	})
+	x.forest.Reserve(len(records))
+	for i, r := range records {
+		x.forest.Add(uint32(i), padded[i])
 		x.keys = append(x.keys, r.Key)
 	}
-	x.forest.Index()
+	x.forest.IndexParallel(runtime.GOMAXPROCS(0))
 	return x, nil
 }
 
@@ -115,17 +146,23 @@ func PadExact(h *minhash.Hasher, sig minhash.Signature, key string, k int) minha
 
 // Query returns the keys of candidate domains at containment threshold
 // tStar. The tuner is invoked with x = M because every indexed signature
-// represents a padded domain of size M.
+// represents a padded domain of size M. Dedup across the forest's trees
+// uses a pooled generation-stamped visited array, so the only allocation is
+// the result itself.
 func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
 	if querySize <= 0 || len(x.keys) == 0 {
 		return nil
 	}
 	params := x.opt.Optimize(float64(x.maxSize), float64(querySize), tStar)
+	s := x.acquireScratch()
 	var out []string
-	x.forest.QueryDedup(sig, params.B, params.R, nil, func(id uint32) bool {
-		out = append(out, x.keys[id])
+	x.forest.Query(sig, params.B, params.R, func(id uint32) bool {
+		if s.TryMark(id) {
+			out = append(out, x.keys[id])
+		}
 		return true
 	})
+	x.scratch.Put(s)
 	return out
 }
 

@@ -3,6 +3,7 @@ package asym
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"lshensemble/internal/core"
@@ -246,5 +247,68 @@ func TestBuildValidation(t *testing.T) {
 	}
 	if _, err := Build([]core.Record{{Key: "k", Size: 1, Sig: sig[:10]}}, 64, 4); err == nil {
 		t.Fatal("short signature accepted")
+	}
+}
+
+// TestConcurrentPooledQueries hammers the pooled dedup scratch from many
+// goroutines; every result must match the single-threaded reference. Run
+// with -race: the pool must never hand one scratch to two in-flight queries.
+func TestConcurrentPooledQueries(t *testing.T) {
+	recs, _ := makeRecords(400, 64, 500, 9)
+	x, err := Build(recs, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 17, 63, 101, 250, 399}
+	want := make([]int, len(queries))
+	for i, qi := range queries {
+		want[i] = len(x.Query(recs[qi].Sig, recs[qi].Size, 0.5))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 30; rep++ {
+				i := (w + rep) % len(queries)
+				qi := queries[i]
+				got := len(x.Query(recs[qi].Sig, recs[qi].Size, 0.5))
+				if got != want[i] {
+					errs <- fmt.Errorf("worker %d: query %d returned %d results, want %d", w, i, got, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBuildDeterministic requires the parallel pad + fill pipeline to
+// produce the same index as a fresh build: padding streams are derived from
+// the record key, so worker scheduling must not leak into the result.
+func TestBuildDeterministic(t *testing.T) {
+	recs, _ := makeRecords(300, 64, 2000, 11)
+	a, err := Build(recs, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(recs, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := a.forest.AppendBinary(nil)
+	bb := b.forest.AppendBinary(nil)
+	if len(ab) != len(bb) {
+		t.Fatalf("forest encodings differ in length: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("forest encodings differ at byte %d", i)
+		}
 	}
 }

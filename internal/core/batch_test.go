@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// sortedIDs copies and sorts an id slice so order-insensitive comparisons
+// are cheap to write.
+func sortedIDs(ids []uint32) []uint32 {
+	out := append([]uint32(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryBatchMatchesSerial runs the same query set through QueryIDs and
+// QueryBatch at several worker counts; every row must match the serial
+// answer exactly (batch rows keep the per-query probe order, so equality is
+// order-sensitive per row).
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	c := makeCorpus(t, 600, 64, 31)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []BatchQuery
+	for i := 0; i < len(c.records); i += 7 {
+		queries = append(queries, BatchQuery{
+			Sig:       c.records[i].Sig,
+			Size:      c.records[i].Size,
+			Threshold: []float64{0.25, 0.5, 0.75}[i%3],
+		})
+	}
+	want := make([][]uint32, len(queries))
+	for i, q := range queries {
+		want[i] = idx.QueryIDs(q.Sig, q.Size, q.Threshold)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16, len(queries) + 5} {
+		rows := idx.QueryBatch(queries, workers)
+		if len(rows) != len(queries) {
+			t.Fatalf("workers=%d: %d rows for %d queries", workers, len(rows), len(queries))
+		}
+		for i := range rows {
+			if !equalIDs(sortedIDs(rows[i]), sortedIDs(want[i])) {
+				t.Fatalf("workers=%d query %d: got %d ids, want %d", workers, i, len(rows[i]), len(want[i]))
+			}
+		}
+	}
+}
+
+// TestQueryBatchIntoReuse reuses one BatchResults across batches of
+// different shapes and checks rows stay correct — the arena and offset
+// table must be fully reset between calls.
+func TestQueryBatchIntoReuse(t *testing.T) {
+	c := makeCorpus(t, 300, 64, 32)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res BatchResults
+	for _, n := range []int{17, 50, 3, 50, 1} {
+		queries := make([]BatchQuery, n)
+		for i := range queries {
+			r := c.records[(i*13)%len(c.records)]
+			queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.5}
+		}
+		idx.QueryBatchInto(&res, queries, 4)
+		if res.NumRows() != n {
+			t.Fatalf("n=%d: NumRows %d", n, res.NumRows())
+		}
+		for i, q := range queries {
+			want := idx.QueryIDs(q.Sig, q.Size, q.Threshold)
+			if !equalIDs(sortedIDs(res.Row(i)), sortedIDs(want)) {
+				t.Fatalf("n=%d row %d: got %d ids, want %d", n, i, len(res.Row(i)), len(want))
+			}
+		}
+	}
+}
+
+// TestQueryBatchEdgeCases covers empty batches, zero-size queries, and
+// degenerate thresholds.
+func TestQueryBatchEdgeCases(t *testing.T) {
+	c := makeCorpus(t, 100, 64, 33)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := idx.QueryBatch(nil, 4); len(rows) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(rows))
+	}
+	r := c.records[0]
+	rows := idx.QueryBatch([]BatchQuery{
+		{Sig: r.Sig, Size: 0, Threshold: 0.5},     // invalid size → empty row
+		{Sig: r.Sig, Size: r.Size, Threshold: -3}, // clamped to 0
+		{Sig: r.Sig, Size: r.Size, Threshold: 5},  // clamped to 1
+	}, 2)
+	if len(rows[0]) != 0 {
+		t.Fatalf("zero-size query returned %d ids", len(rows[0]))
+	}
+	if want := idx.QueryIDs(r.Sig, r.Size, 0); !equalIDs(sortedIDs(rows[1]), sortedIDs(want)) {
+		t.Fatalf("t*<0 row mismatch: %d vs %d", len(rows[1]), len(want))
+	}
+	if want := idx.QueryIDs(r.Sig, r.Size, 1); !equalIDs(sortedIDs(rows[2]), sortedIDs(want)) {
+		t.Fatalf("t*>1 row mismatch: %d vs %d", len(rows[2]), len(want))
+	}
+}
+
+// TestQueryBatchPanicsWhenDirty mirrors the single-query contract.
+func TestQueryBatchPanicsWhenDirty(t *testing.T) {
+	c := makeCorpus(t, 50, 64, 34)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(c.records[0]); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QueryBatch on dirty index did not panic")
+		}
+	}()
+	idx.QueryBatch([]BatchQuery{{Sig: c.records[0].Sig, Size: 10, Threshold: 0.5}}, 2)
+}
+
+// TestParallelQueryIDsMatchesSerial checks the intra-query mode against
+// QueryIDs as a set, across worker counts and thresholds.
+func TestParallelQueryIDsMatchesSerial(t *testing.T) {
+	c := makeCorpus(t, 800, 64, 35)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < len(c.records); qi += 61 {
+		r := c.records[qi]
+		for _, tStar := range []float64{0.2, 0.5, 0.9} {
+			want := sortedIDs(idx.QueryIDs(r.Sig, r.Size, tStar))
+			for _, workers := range []int{0, 1, 2, 4, 64} {
+				got := sortedIDs(idx.ParallelQueryIDs(r.Sig, r.Size, tStar, workers))
+				if !equalIDs(got, want) {
+					t.Fatalf("query %d t*=%v workers=%d: got %d ids, want %d",
+						qi, tStar, workers, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBuildParallelDeterministic builds the same corpus twice (the build
+// pipeline fans partition fills and tree sorts across workers) and requires
+// identical serialized bytes: parallel construction must be bit-for-bit
+// deterministic.
+func TestBuildParallelDeterministic(t *testing.T) {
+	c := makeCorpus(t, 500, 64, 36)
+	a, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := a.AppendBinary(nil), b.AppendBinary(nil)
+	if len(ab) != len(bb) {
+		t.Fatalf("encodings differ in length: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("encodings differ at byte %d", i)
+		}
+	}
+}

@@ -15,12 +15,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
+	"lshensemble/internal/dedup"
 	"lshensemble/internal/lshforest"
 	"lshensemble/internal/minhash"
+	"lshensemble/internal/par"
 	"lshensemble/internal/partition"
 	"lshensemble/internal/tune"
 )
@@ -110,33 +111,28 @@ type Index struct {
 	// nothing: dedup uses a generation-stamped visited array instead of a
 	// fresh map, and result ids accumulate in a reused buffer.
 	scratch sync.Pool
+
+	// batch pools *batchState values (worker arenas + coordination state) so
+	// steady-state QueryBatchInto calls allocate nothing either.
+	batch sync.Pool
 }
 
 // queryScratch is the per-query working memory recycled through
-// Index.scratch. visited[id] == gen marks id as already reported for the
-// query stamped gen; bumping gen invalidates every mark in O(1).
+// Index.scratch: a generation-stamped visited set for candidate dedup and a
+// reusable result buffer.
 type queryScratch struct {
-	gen     uint32
-	visited []uint32
-	ids     []uint32
+	seen dedup.Set
+	ids  []uint32
 }
 
 // acquireScratch fetches (or creates) a scratch sized for the current
-// corpus and advances its generation stamp.
+// corpus and starts a fresh dedup generation.
 func (x *Index) acquireScratch() *queryScratch {
 	s, _ := x.scratch.Get().(*queryScratch)
 	if s == nil {
 		s = &queryScratch{}
 	}
-	if len(s.visited) < len(x.keys) {
-		s.visited = make([]uint32, len(x.keys))
-		s.gen = 0
-	}
-	s.gen++
-	if s.gen == 0 { // generation counter wrapped: stale stamps could alias
-		clear(s.visited)
-		s.gen = 1
-	}
+	s.seen.Reset(len(x.keys))
 	return s
 }
 
@@ -176,6 +172,7 @@ func Build(records []Record, opts Options) (*Index, error) {
 		opts:  opts,
 		keys:  make([]string, 0, len(records)),
 		sizes: make([]int, 0, len(records)),
+		sigs:  make([]minhash.Signature, 0, len(records)),
 		parts: make([]part, len(parts)),
 		opt:   tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax),
 	}
@@ -186,11 +183,37 @@ func Build(records []Record, opts Options) (*Index, error) {
 			forest: lshforest.New(opts.NumHash, opts.RMax),
 		}
 	}
+	// Route every record first (serial — a binary search per record, and
+	// boundary partitions may stretch), grouping member record indices per
+	// partition. The expensive part, copying every signature into its
+	// partition's contiguous store, then runs in parallel: partitions own
+	// disjoint forests, and Reserve sizes each backing array exactly once
+	// from the known member count.
+	members := make([][]int32, len(parts))
 	for _, r := range records {
-		idx.add(r)
+		id := uint32(len(idx.keys))
+		idx.keys = append(idx.keys, r.Key)
+		idx.sizes = append(idx.sizes, r.Size)
+		idx.sigs = append(idx.sigs, r.Sig)
+		pi := idx.routeIdx(r.Size)
+		members[pi] = append(members[pi], int32(id))
 	}
+	idx.dirty = true
+	par.Drain(len(parts), 0, func(_, pi int) {
+		idx.fillPartition(pi, members[pi], records)
+	})
 	idx.Reindex()
 	return idx, nil
+}
+
+// fillPartition copies the signatures of the partition's members into its
+// forest, pre-sizing the contiguous store from the known member count.
+func (x *Index) fillPartition(pi int, members []int32, records []Record) {
+	f := x.parts[pi].forest
+	f.Reserve(len(members))
+	for _, id := range members {
+		f.Add(uint32(id), records[id].Sig)
+	}
 }
 
 // add routes a record to its partition without reindexing.
@@ -199,26 +222,25 @@ func (x *Index) add(r Record) {
 	x.keys = append(x.keys, r.Key)
 	x.sizes = append(x.sizes, r.Size)
 	x.sigs = append(x.sigs, r.Sig)
-	p := x.route(r.Size)
-	p.forest.Add(id, r.Sig)
+	pi := x.routeIdx(r.Size)
+	x.parts[pi].forest.Add(id, r.Sig)
 	x.dirty = true
 }
 
-// route finds the partition responsible for a domain of the given size.
+// routeIdx finds the partition responsible for a domain of the given size.
 // Sizes beyond the last upper bound extend the last partition (its upper
 // bound grows, keeping the conversion conservative).
-func (x *Index) route(size int) *part {
+func (x *Index) routeIdx(size int) int {
 	i := sort.Search(len(x.parts), func(i int) bool { return size <= x.parts[i].upper })
 	if i == len(x.parts) {
-		last := &x.parts[len(x.parts)-1]
-		last.upper = size
-		return last
+		i = len(x.parts) - 1
+		x.parts[i].upper = size
+		return i
 	}
-	p := &x.parts[i]
-	if size < p.lower {
-		p.lower = size
+	if size < x.parts[i].lower {
+		x.parts[i].lower = size
 	}
-	return p
+	return i
 }
 
 // Add inserts a new domain into the ensemble after Build — the dynamic-data
@@ -237,28 +259,45 @@ func (x *Index) Add(r Record) error {
 	return nil
 }
 
-// Reindex rebuilds the partition forests after Add calls. Partitions are
-// rebuilt concurrently. It is a no-op when nothing changed.
+// Reindex rebuilds the partition forests after Add calls. The rebuild is
+// flattened into one job per (partition, tree) pair and fanned out over a
+// bounded worker pool, so a handful of oversized partitions cannot serialize
+// the tail the way partition-at-a-time parallelism would. It is a no-op
+// when nothing changed.
 func (x *Index) Reindex() {
 	if !x.dirty {
 		return
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	type treeJob struct {
+		f *lshforest.Forest
+		t int
+	}
+	var jobs []treeJob
+	var pending []*lshforest.Forest
 	for i := range x.parts {
 		f := x.parts[i].forest
 		if f.Indexed() {
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			f.Index()
-			<-sem
-		}()
+		n := f.PrepareTrees() // finalizes empty forests itself
+		if n == 0 {
+			continue
+		}
+		pending = append(pending, f)
+		for t := 0; t < n; t++ {
+			jobs = append(jobs, treeJob{f: f, t: t})
+		}
 	}
-	wg.Wait()
+	if len(jobs) > 0 {
+		workers := par.Clamp(0, len(jobs))
+		scratches := make([]lshforest.SortScratch, workers)
+		par.Drain(len(jobs), workers, func(w, i int) {
+			jobs[i].f.RebuildTree(jobs[i].t, &scratches[w])
+		})
+	}
+	for _, f := range pending {
+		f.FinishTrees()
+	}
 	// Re-point the id → signature table at the forests' flat stores so the
 	// caller-provided signature slices can be collected; otherwise every
 	// signature would stay resident twice (the caller's slice pinned here
@@ -321,39 +360,54 @@ func (x *Index) QueryIDsAppend(dst []uint32, sig minhash.Signature, querySize in
 	return dst
 }
 
+// clampThreshold confines t* to [0, 1].
+func clampThreshold(tStar float64) float64 {
+	if tStar < 0 {
+		return 0
+	}
+	if tStar > 1 {
+		return 1
+	}
+	return tStar
+}
+
 // queryInto probes every partition sequentially, deduplicating against the
 // scratch's generation-stamped visited array, and appends candidate ids to
 // dst. Partitions are disjoint by construction, so the dedup only ever
 // collapses the multiple trees of a single forest reporting the same id.
 func (x *Index) queryInto(dst []uint32, s *queryScratch, sig minhash.Signature, querySize int, tStar float64) []uint32 {
-	if tStar < 0 {
-		tStar = 0
+	tStar = clampThreshold(tStar)
+	for i := range x.parts {
+		dst = x.queryPartition(dst, s, i, sig, querySize, tStar)
 	}
-	if tStar > 1 {
-		tStar = 1
+	return dst
+}
+
+// queryPartition probes one partition with the query's tuned (b, r) and
+// appends candidate ids to dst. tStar must already be clamped to [0, 1].
+// Because partitions hold disjoint id sets, distinct partitions of the same
+// query may be probed by different workers (each with its own scratch)
+// without any cross-worker dedup — the visited array only collapses the
+// multiple trees of one forest reporting the same id.
+func (x *Index) queryPartition(dst []uint32, s *queryScratch, pi int, sig minhash.Signature, querySize int, tStar float64) []uint32 {
+	p := &x.parts[pi]
+	if p.forest.Len() == 0 {
+		return dst
 	}
 	q := float64(querySize)
-	visited, gen := s.visited, s.gen
-	for i := range x.parts {
-		p := &x.parts[i]
-		if p.forest.Len() == 0 {
-			continue
-		}
-		u := float64(p.upper)
-		// No domain in this partition can reach the threshold when u/q < t*:
-		// containment is at most x/q ≤ u/q.
-		if tStar > 0 && u/q < tStar {
-			continue
-		}
-		params := x.opt.Optimize(u, q, tStar)
-		p.forest.Query(sig, params.B, params.R, func(id uint32) bool {
-			if visited[id] != gen {
-				visited[id] = gen
-				dst = append(dst, id)
-			}
-			return true
-		})
+	u := float64(p.upper)
+	// No domain in this partition can reach the threshold when u/q < t*:
+	// containment is at most x/q ≤ u/q.
+	if tStar > 0 && u/q < tStar {
+		return dst
 	}
+	params := x.opt.Optimize(u, q, tStar)
+	p.forest.Query(sig, params.B, params.R, func(id uint32) bool {
+		if s.seen.TryMark(id) {
+			dst = append(dst, id)
+		}
+		return true
+	})
 	return dst
 }
 

@@ -19,13 +19,12 @@ package datagen
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"lshensemble/internal/core"
 	"lshensemble/internal/exact"
 	"lshensemble/internal/minhash"
+	"lshensemble/internal/par"
 	"lshensemble/internal/xrand"
 )
 
@@ -308,31 +307,14 @@ func WebTable(cfg WebTableConfig) *Corpus {
 }
 
 // Records hashes and sketches every domain with the hasher, in parallel,
-// returning index-ready records aligned with c.Domains.
+// returning index-ready records aligned with c.Domains. Jobs drain from a
+// shared counter so a few huge power-law domains don't straggle one chunk.
 func Records(c *Corpus, h *minhash.Hasher) []core.Record {
 	recs := make([]core.Record, len(c.Domains))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (len(c.Domains) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(c.Domains) {
-			hi = len(c.Domains)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				d := c.Domains[i]
-				recs[i] = core.Record{Key: d.Key, Size: len(d.Values), Sig: h.SketchUint64s(d.Values)}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.Drain(len(c.Domains), 0, func(_, i int) {
+		d := c.Domains[i]
+		recs[i] = core.Record{Key: d.Key, Size: len(d.Values), Sig: h.SketchUint64s(d.Values)}
+	})
 	return recs
 }
 

@@ -1,0 +1,41 @@
+// Package dedup provides a generation-stamped visited set over dense uint32
+// ids — the allocation-free replacement for a per-query map[uint32]struct{}
+// used by every query path's candidate dedup. One Set is recycled across
+// queries (typically through a sync.Pool); Reset starts a new query's
+// generation in O(1) instead of clearing or reallocating.
+package dedup
+
+// Set marks ids in a dense universe [0, n). The zero value is ready to use
+// after a Reset. A Set must not be shared by concurrent queries.
+type Set struct {
+	gen   uint32
+	marks []uint32 // marks[id] == gen ⇔ id is marked in the current generation
+}
+
+// Reset prepares the set for a universe of n ids and starts a fresh
+// generation: every previously marked id becomes unmarked in O(1). The
+// backing array reallocates only when the universe grew, and is fully
+// cleared only when the generation counter wraps (stale stamps could
+// otherwise alias the new generation).
+func (s *Set) Reset(n int) {
+	if len(s.marks) < n {
+		s.marks = make([]uint32, n)
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 {
+		clear(s.marks)
+		s.gen = 1
+	}
+}
+
+// TryMark marks id and reports whether it was unmarked before — true means
+// the caller sees this id for the first time this generation. id must be
+// below the n of the last Reset.
+func (s *Set) TryMark(id uint32) bool {
+	if s.marks[id] == s.gen {
+		return false
+	}
+	s.marks[id] = s.gen
+	return true
+}

@@ -1,0 +1,62 @@
+package dedup
+
+import "testing"
+
+func TestTryMarkReportsFirstSightingOnly(t *testing.T) {
+	var s Set
+	s.Reset(10)
+	if !s.TryMark(3) {
+		t.Fatal("first TryMark(3) reported already marked")
+	}
+	if s.TryMark(3) {
+		t.Fatal("second TryMark(3) reported unmarked")
+	}
+	if !s.TryMark(9) {
+		t.Fatal("first TryMark(9) reported already marked")
+	}
+}
+
+func TestResetInvalidatesMarks(t *testing.T) {
+	var s Set
+	s.Reset(4)
+	s.TryMark(0)
+	s.TryMark(3)
+	s.Reset(4)
+	for id := uint32(0); id < 4; id++ {
+		if !s.TryMark(id) {
+			t.Fatalf("id %d still marked after Reset", id)
+		}
+	}
+}
+
+func TestResetGrowsUniverse(t *testing.T) {
+	var s Set
+	s.Reset(2)
+	s.TryMark(1)
+	s.Reset(100)
+	if !s.TryMark(99) {
+		t.Fatal("id 99 unexpectedly marked in grown universe")
+	}
+	if s.TryMark(1) != true {
+		t.Fatal("id 1 leaked its mark across a growing Reset")
+	}
+}
+
+// TestGenerationWrap forces the uint32 generation counter to wrap and
+// checks stale stamps cannot alias the new generation.
+func TestGenerationWrap(t *testing.T) {
+	var s Set
+	s.Reset(3)
+	s.TryMark(2)
+	s.gen = ^uint32(0) // next Reset wraps to 0 and must clear
+	s.marks[1] = 0     // a stale stamp equal to the post-wrap generation value
+	s.Reset(3)
+	if s.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", s.gen)
+	}
+	for id := uint32(0); id < 3; id++ {
+		if !s.TryMark(id) {
+			t.Fatalf("id %d aliased across generation wrap", id)
+		}
+	}
+}

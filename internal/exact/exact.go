@@ -6,7 +6,11 @@
 // identity (collisions in a 61-bit space are negligible at our scales).
 package exact
 
-import "sort"
+import (
+	"sort"
+
+	"lshensemble/internal/par"
+)
 
 // Domain is a named set of value identifiers. Values need not be sorted or
 // deduplicated; Build deduplicates.
@@ -22,23 +26,35 @@ type Engine struct {
 	postings map[uint64][]uint32
 }
 
-// Build constructs the inverted index over the domains.
+// Build constructs the inverted index over the domains. The per-domain
+// value dedup (map-heavy, independent per domain) fans out across
+// GOMAXPROCS workers; only the postings-list fill, which appends to one
+// shared map, stays serial.
 func Build(domains []Domain) *Engine {
 	e := &Engine{postings: make(map[uint64][]uint32)}
-	for _, d := range domains {
+	deduped := make([][]uint64, len(domains))
+	par.Chunked(len(domains), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := domains[i]
+			seen := make(map[uint64]struct{}, len(d.Values))
+			vals := make([]uint64, 0, len(d.Values))
+			for _, v := range d.Values {
+				if _, ok := seen[v]; ok {
+					continue
+				}
+				seen[v] = struct{}{}
+				vals = append(vals, v)
+			}
+			deduped[i] = vals
+		}
+	})
+	for i, d := range domains {
 		id := uint32(len(e.keys))
 		e.keys = append(e.keys, d.Key)
-		n := 0
-		seen := make(map[uint64]struct{}, len(d.Values))
-		for _, v := range d.Values {
-			if _, ok := seen[v]; ok {
-				continue
-			}
-			seen[v] = struct{}{}
+		e.sizes = append(e.sizes, len(deduped[i]))
+		for _, v := range deduped[i] {
 			e.postings[v] = append(e.postings[v], id)
-			n++
 		}
-		e.sizes = append(e.sizes, n)
 	}
 	return e
 }
@@ -77,6 +93,20 @@ func (e *Engine) Scores(query []uint64) map[uint32]float64 {
 		scores[id] = float64(c) / float64(qn)
 	}
 	return scores
+}
+
+// ScoresBatch computes Scores for every query in parallel with up to
+// `workers` goroutines (0 means GOMAXPROCS). The brute-force containment
+// scan dominates the accuracy experiments' wall-clock, and the postings
+// lists are read-only at query time, so queries shard perfectly.
+func (e *Engine) ScoresBatch(queries [][]uint64, workers int) []map[uint32]float64 {
+	out := make([]map[uint32]float64, len(queries))
+	par.Chunked(len(queries), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.Scores(queries[i])
+		}
+	})
+	return out
 }
 
 // Query returns the keys of all domains whose containment of the query

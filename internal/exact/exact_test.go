@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -145,5 +146,79 @@ func TestLenAndAccessors(t *testing.T) {
 	}
 	if e.Key(1) != "b" || e.Size(1) != 2 {
 		t.Fatal("accessors wrong")
+	}
+}
+
+// TestScoresBatchMatchesSerial checks the parallel scan against per-query
+// Scores over a corpus with heavy value sharing.
+func TestScoresBatchMatchesSerial(t *testing.T) {
+	var domains []Domain
+	for i := 0; i < 60; i++ {
+		vals := make([]uint64, 0, 50+i)
+		for v := 0; v < 50+i; v++ {
+			vals = append(vals, uint64(v*(1+i%3)))
+		}
+		domains = append(domains, Domain{Key: fmt.Sprintf("d%02d", i), Values: vals})
+	}
+	e := Build(domains)
+	queries := make([][]uint64, len(domains))
+	for i, d := range domains {
+		queries[i] = d.Values
+	}
+	want := make([]map[uint32]float64, len(queries))
+	for i, q := range queries {
+		want[i] = e.Scores(q)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got := e.ScoresBatch(queries, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: %d scored domains, want %d",
+					workers, i, len(got[i]), len(want[i]))
+			}
+			for id, s := range want[i] {
+				if got[i][id] != s {
+					t.Fatalf("workers=%d query %d id %d: score %v, want %v",
+						workers, i, id, got[i][id], s)
+				}
+			}
+		}
+	}
+	if out := e.ScoresBatch(nil, 4); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}
+
+// TestBuildParallelDedupMatchesSerial pins the parallel-dedup Build to the
+// same postings as a reference single-threaded construction.
+func TestBuildParallelDedupMatchesSerial(t *testing.T) {
+	var domains []Domain
+	for i := 0; i < 40; i++ {
+		var vals []uint64
+		for v := 0; v < 30; v++ {
+			vals = append(vals, uint64(v%17), uint64(v)) // duplicates on purpose
+		}
+		domains = append(domains, Domain{Key: fmt.Sprintf("p%02d", i), Values: vals})
+	}
+	e := Build(domains)
+	// Reference: dedup by hand, postings in domain order.
+	for i, d := range domains {
+		seen := make(map[uint64]struct{})
+		for _, v := range d.Values {
+			seen[v] = struct{}{}
+		}
+		if e.Size(uint32(i)) != len(seen) {
+			t.Fatalf("domain %d: size %d, want %d", i, e.Size(uint32(i)), len(seen))
+		}
+	}
+	for v, ids := range e.postings {
+		for k := 1; k < len(ids); k++ {
+			if ids[k-1] >= ids[k] {
+				t.Fatalf("postings for value %d not in ascending id order: %v", v, ids)
+			}
+		}
 	}
 }

@@ -125,10 +125,11 @@ func buildSystems(recs []core.Record, cfg AccuracyConfig) ([]system, error) {
 func runAccuracy(corpus *datagen.Corpus, recs []core.Record, queries []int,
 	systems []system, thresholds []float64) []AccuracyRow {
 	engine := exact.Build(datagen.ExactDomains(corpus))
-	scores := make([]map[uint32]float64, len(queries))
+	queryValues := make([][]uint64, len(queries))
 	for i, qi := range queries {
-		scores[i] = engine.Scores(corpus.Domains[qi].Values)
+		queryValues[i] = corpus.Domains[qi].Values
 	}
+	scores := engine.ScoresBatch(queryValues, 0)
 	var rows []AccuracyRow
 	for _, tStar := range thresholds {
 		truths := make([]map[string]bool, len(queries))

@@ -27,6 +27,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+
+	"lshensemble/internal/par"
 )
 
 // Forest is a dynamic-(b,r) MinHash LSH index over integer domain ids.
@@ -78,6 +81,28 @@ func (f *Forest) Len() int { return len(f.ids) }
 // Indexed reports whether Index has been called since the last Add.
 func (f *Forest) Indexed() bool { return f.indexed }
 
+// Reserve grows the forest's backing arrays so they can hold at least n
+// total entries without reallocating. Builds of known size should call it
+// once up front: the contiguous signature store is then allocated in a
+// single step instead of grown by repeated append (which copies the whole
+// store every doubling). Reserve never shrinks and is a no-op when capacity
+// already suffices.
+func (f *Forest) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(f.ids) < n {
+		ids := make([]uint32, len(f.ids), n)
+		copy(ids, f.ids)
+		f.ids = ids
+	}
+	if want := n * f.numHash; cap(f.store) < want {
+		store := make([]uint64, len(f.store), want)
+		copy(store, f.store)
+		f.store = store
+	}
+}
+
 // Add inserts a (id, signature) pair. The signature is copied into the
 // forest's contiguous backing store; the caller keeps ownership of sig. Add
 // invalidates the index; call Index before querying again.
@@ -106,53 +131,110 @@ func (f *Forest) sigAt(slot int) []uint64 {
 	return f.store[base : base+f.numHash : base+f.numHash]
 }
 
-// Index (re)builds the sorted trees. It is idempotent and must be called
-// after the last Add and before the first Query.
-func (f *Forest) Index() {
-	n := len(f.ids)
-	if n == 0 {
-		// Nothing to sort and nothing to probe; skipping the per-tree
-		// allocations here also keeps DecodeForest's cost proportional to
-		// its input for empty encodings with an enormous declared numHash.
+// SortScratch is the per-worker working memory of a tree rebuild: the radix
+// sort ping-pongs between the order/keys arrays and these temporaries. One
+// scratch serves any number of sequential RebuildTree calls (it grows to the
+// largest forest it has seen); distinct concurrent workers must each own
+// their own.
+type SortScratch struct {
+	tmpOrder []uint32
+	keys     []uint64
+	tmpKeys  []uint64
+}
+
+func (s *SortScratch) grow(n int) {
+	if cap(s.tmpOrder) < n {
+		s.tmpOrder = make([]uint32, n)
+		s.keys = make([]uint64, n)
+		s.tmpKeys = make([]uint64, n)
+	}
+}
+
+// PrepareTrees readies the forest for per-tree rebuilds and returns the
+// number of independent tree jobs to run (one per tree, indices
+// [0, BMax())). An empty forest has nothing to sort: it is finalized
+// immediately and 0 is returned — skipping the per-tree allocations also
+// keeps DecodeForest's cost proportional to its input for empty encodings
+// with an enormous declared numHash.
+//
+// After PrepareTrees, RebuildTree may be called for every job index (from
+// any goroutine, each index exactly once), followed by one FinishTrees.
+// Index and IndexParallel wrap this sequence.
+func (f *Forest) PrepareTrees() int {
+	if len(f.ids) == 0 {
 		f.indexed = true
-		return
+		return 0
 	}
 	if f.trees == nil {
 		f.trees = make([][]uint32, f.bMax)
 		f.treeKeys = make([][]uint64, f.bMax)
 	}
-	// Shared scratch reused across trees: the radix sort ping-pongs between
-	// the order/keys arrays and these temporaries.
-	var (
-		tmpOrder = make([]uint32, n)
-		keys     = make([]uint64, n)
-		tmpKeys  = make([]uint64, n)
-	)
-	for t := 0; t < f.bMax; t++ {
-		off := t * f.rMax
-		order := f.trees[t]
-		if cap(order) < n {
-			order = make([]uint32, n)
-		}
-		order = order[:n]
-		for i := range order {
-			order[i] = uint32(i)
-		}
-		f.sortByPrefix(order, tmpOrder[:n], keys[:n], tmpKeys[:n], off, 0)
-		// Rebuild the contiguous leading-value column in sorted order (the
-		// sort scratch may have been clobbered by tie-break recursion).
-		col := f.treeKeys[t]
-		if cap(col) < n {
-			col = make([]uint64, n)
-		}
-		col = col[:n]
-		for i, s := range order {
-			col[i] = f.store[int(s)*f.numHash+off]
-		}
-		f.trees[t] = order
-		f.treeKeys[t] = col
+	return f.bMax
+}
+
+// RebuildTree sorts tree t from the current backing store using the given
+// scratch. Distinct trees touch disjoint forest state, so RebuildTree is
+// safe to call concurrently for distinct t (with distinct scratches)
+// between PrepareTrees and FinishTrees.
+func (f *Forest) RebuildTree(t int, s *SortScratch) {
+	n := len(f.ids)
+	s.grow(n)
+	off := t * f.rMax
+	order := f.trees[t]
+	if cap(order) < n {
+		order = make([]uint32, n)
 	}
-	f.indexed = true
+	order = order[:n]
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	f.sortByPrefix(order, s.tmpOrder[:n], s.keys[:n], s.tmpKeys[:n], off, 0)
+	// Rebuild the contiguous leading-value column in sorted order (the
+	// sort scratch may have been clobbered by tie-break recursion).
+	col := f.treeKeys[t]
+	if cap(col) < n {
+		col = make([]uint64, n)
+	}
+	col = col[:n]
+	for i, s := range order {
+		col[i] = f.store[int(s)*f.numHash+off]
+	}
+	f.trees[t] = order
+	f.treeKeys[t] = col
+}
+
+// FinishTrees marks the forest indexed after every RebuildTree job has
+// completed.
+func (f *Forest) FinishTrees() { f.indexed = true }
+
+// Index (re)builds the sorted trees. It is idempotent and must be called
+// after the last Add and before the first Query.
+func (f *Forest) Index() {
+	jobs := f.PrepareTrees()
+	if jobs == 0 {
+		return
+	}
+	var s SortScratch
+	for t := 0; t < jobs; t++ {
+		f.RebuildTree(t, &s)
+	}
+	f.FinishTrees()
+}
+
+// IndexParallel is Index with the per-tree sorts fanned out over up to
+// `workers` goroutines (each with its own SortScratch). workers ≤ 1 falls
+// back to the serial path. The resulting trees are identical to Index's.
+func (f *Forest) IndexParallel(workers int) {
+	jobs := f.PrepareTrees()
+	if jobs == 0 {
+		return
+	}
+	workers = par.Clamp(workers, jobs)
+	scratches := make([]SortScratch, workers)
+	par.Drain(jobs, workers, func(w, t int) {
+		f.RebuildTree(t, &scratches[w])
+	})
+	f.FinishTrees()
 }
 
 // sortByPrefix sorts order by the hash values store[slot*stride+off+depth ..
@@ -453,6 +535,6 @@ func DecodeForest(buf []byte) (*Forest, []byte, error) {
 			buf = buf[8:]
 		}
 	}
-	f.Index()
+	f.IndexParallel(runtime.GOMAXPROCS(0))
 	return f, buf, nil
 }

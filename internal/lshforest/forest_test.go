@@ -2,6 +2,7 @@ package lshforest
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -371,5 +372,23 @@ func BenchmarkForestIndex(b *testing.B) {
 			f.Add(ids[j], sigs[j])
 		}
 		f.Index()
+	}
+}
+
+// BenchmarkForestIndexParallel measures the fanned-out tree rebuild with
+// Reserve pre-sizing — the construction path core.Build drives. Run with
+// -cpu 1,4,8 to see worker scaling.
+func BenchmarkForestIndexParallel(b *testing.B) {
+	rng := xrand.New(1)
+	const m, rMax = 256, 8
+	sigs, ids := randSigs(rng, 5000, m, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := New(m, rMax)
+		f.Reserve(len(sigs))
+		for j := range sigs {
+			f.Add(ids[j], sigs[j])
+		}
+		f.IndexParallel(runtime.GOMAXPROCS(0))
 	}
 }

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 
+	"lshensemble/internal/par"
 	"lshensemble/internal/xrand"
 )
 
@@ -238,6 +240,37 @@ func (h *Hasher) Sketch(hashedValues []uint64) Signature {
 	sig := h.NewSignature()
 	h.PushHashedBlock(sig, hashedValues)
 	return sig
+}
+
+// parallelSketchMinShard is the smallest per-worker shard worth a goroutine:
+// below ~4 blocks per worker the fan-out/merge overhead exceeds the win.
+const parallelSketchMinShard = 4 * sketchBlockSize
+
+// SketchParallel builds a signature over a slice of already base-hashed
+// values with up to `workers` goroutines (0 means GOMAXPROCS). Each worker
+// folds a contiguous shard through PushHashedBlock into its own signature
+// and the shard signatures are merged slot-wise at the end — exact, because
+// the minimum over a union of shards is the minimum of the shard minima.
+// Small inputs fall back to the serial path.
+func (h *Hasher) SketchParallel(hashedValues []uint64, workers int) Signature {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(hashedValues) / parallelSketchMinShard; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return h.Sketch(hashedValues)
+	}
+	sigs := make([]Signature, workers)
+	shards := par.Chunked(len(hashedValues), workers, func(w, lo, hi int) {
+		sigs[w] = h.Sketch(hashedValues[lo:hi])
+	})
+	out := sigs[0]
+	for _, s := range sigs[1:shards] {
+		out.Merge(s)
+	}
+	return out
 }
 
 // SketchStrings builds a signature over a slice of string values.

@@ -358,3 +358,25 @@ func BenchmarkJaccard(b *testing.B) {
 		_ = s1.Jaccard(s2)
 	}
 }
+
+func TestSketchParallelMatchesSerial(t *testing.T) {
+	h := NewHasher(128, 5)
+	for _, n := range []int{0, 1, 100, parallelSketchMinShard - 1, parallelSketchMinShard * 3, 10000} {
+		hvs := make([]uint64, n)
+		for i := range hvs {
+			hvs[i] = HashUint64(uint64(i * 31))
+		}
+		want := h.Sketch(hvs)
+		for _, workers := range []int{0, 1, 2, 7, 32} {
+			got := h.SketchParallel(hvs, workers)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: signature length %d != %d", n, workers, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d workers=%d: slot %d differs", n, workers, k)
+				}
+			}
+		}
+	}
+}

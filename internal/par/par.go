@@ -1,0 +1,108 @@
+// Package par provides the two fan-out scaffolds shared by the parallel
+// construction and query paths: contiguous chunks for slice-sharded work and
+// a shared-counter drain for load-balanced job lists. Both run the caller's
+// function inline on the calling goroutine when one worker suffices, so
+// serial fallbacks stay goroutine-free, and both bound every index they
+// hand out by n — call sites cannot reproduce the classic off-the-end chunk
+// bug by hand-rolling the arithmetic.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp returns the effective worker count for n jobs: workers (or
+// GOMAXPROCS when workers <= 0) capped at n, and at least 1. Callers that
+// allocate per-worker state should size it with Clamp's result and pass the
+// same values to Chunked or Drain.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Chunked splits [0, n) into one contiguous chunk per worker and runs
+// fn(w, lo, hi) for each, worker w owning chunk w. It returns the number of
+// chunks actually run — every returned w is in [0, result) and every chunk
+// is non-empty. The calling goroutine runs chunk 0; workers <= 1 (after
+// capping at n) runs everything inline.
+func Chunked(n, workers int, fn func(w, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	chunks := (n + chunk - 1) / chunk
+	var wg sync.WaitGroup
+	for w := 1; w < chunks; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	fn(0, 0, chunk)
+	wg.Wait()
+	return chunks
+}
+
+// Drain runs fn(w, i) for every job i in [0, n), with up to `workers`
+// goroutines pulling jobs from a shared counter — load-balanced even when
+// job costs are skewed. Worker ids w are dense in [0, workers'), workers'
+// being the returned count, so callers can give each worker private state
+// indexed by w. The calling goroutine participates as worker 0;
+// workers <= 1 (after capping at n) runs everything inline.
+func Drain(n, workers int, fn func(w, i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(0, i)
+	}
+	wg.Wait()
+	return workers
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunkedCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1025} {
+		for _, workers := range []int{-1, 0, 1, 2, 3, 16, n + 5, 2000} {
+			hits := make([]int32, n)
+			chunks := Chunked(n, workers, func(w, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("n=%d workers=%d: empty chunk [%d, %d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if n == 0 && chunks != 0 {
+				t.Fatalf("n=0: %d chunks", chunks)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedHugeWorkerCount is the regression for the hand-rolled chunk
+// arithmetic bug: a worker count large enough that the last chunk's lo would
+// land past n must not panic or produce an out-of-range chunk.
+func TestChunkedHugeWorkerCount(t *testing.T) {
+	const n = 1024*2000 + 100
+	covered := int64(0)
+	Chunked(n, 2000, func(w, lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+		}
+		atomic.AddInt64(&covered, int64(hi-lo))
+	})
+	if covered != n {
+		t.Fatalf("covered %d of %d", covered, n)
+	}
+}
+
+func TestDrainRunsEveryJobOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 501} {
+		for _, workers := range []int{-1, 0, 1, 4, n + 3} {
+			hits := make([]int32, n)
+			got := Drain(n, workers, func(w, i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			if n > 0 && (got < 1 || got > Clamp(workers, n)) {
+				t.Fatalf("n=%d workers=%d: reported %d workers", n, workers, got)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: job %d ran %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestDrainWorkerIDsDense checks that every reported worker id indexes
+// valid per-worker state.
+func TestDrainWorkerIDsDense(t *testing.T) {
+	const n = 200
+	workers := Clamp(8, n)
+	state := make([]int32, workers)
+	Drain(n, workers, func(w, i int) {
+		atomic.AddInt32(&state[w], 1)
+	})
+	sum := int32(0)
+	for _, s := range state {
+		sum += s
+	}
+	if sum != n {
+		t.Fatalf("worker tallies sum to %d, want %d", sum, n)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0, 5); got < 1 || got > 5 {
+		t.Fatalf("Clamp(0, 5) = %d", got)
+	}
+	if got := Clamp(100, 3); got != 3 {
+		t.Fatalf("Clamp(100, 3) = %d", got)
+	}
+	if got := Clamp(2, 0); got != 1 {
+		t.Fatalf("Clamp(2, 0) = %d", got)
+	}
+}

@@ -58,21 +58,23 @@ func Build(records []DomainRecord, opts Options) (*Index, error) {
 }
 
 // SketchStrings is a convenience that builds a record from raw string
-// values (deduplicated by the hasher's value identity).
+// values (deduplicated by the hasher's value identity). Hashing and dedup
+// run first so the permutation folding can take the batched
+// permutation-major path; large domains additionally shard across
+// GOMAXPROCS workers (Hasher.SketchParallel — exact, small domains stay on
+// the serial path).
 func SketchStrings(h *Hasher, key string, values []string) DomainRecord {
-	sig := h.NewSignature()
 	seen := make(map[uint64]struct{}, len(values))
-	n := 0
+	hvs := make([]uint64, 0, len(values))
 	for _, v := range values {
 		hv := minhash.HashString(v)
 		if _, dup := seen[hv]; dup {
 			continue
 		}
 		seen[hv] = struct{}{}
-		h.PushHashed(sig, hv)
-		n++
+		hvs = append(hvs, hv)
 	}
-	return DomainRecord{Key: key, Size: n, Sig: sig}
+	return DomainRecord{Key: key, Size: len(hvs), Sig: h.SketchParallel(hvs, 0)}
 }
 
 // BaselineIndex is the paper's comparator: one dynamically tuned MinHash
@@ -96,6 +98,13 @@ func BuildAsym(records []DomainRecord, numHash, rMax int) (*AsymIndex, error) {
 // TopKResult is one ranked answer of Index.QueryTopK, the top-k search
 // formulation complementary to threshold search (paper Section 2).
 type TopKResult = core.TopKResult
+
+// BatchQuery is one containment query of an Index.QueryBatch batch.
+type BatchQuery = core.BatchQuery
+
+// BatchResults is the reusable destination of Index.QueryBatchInto — the
+// allocation-free batch serving path.
+type BatchResults = core.BatchResults
 
 // Save writes the index's binary encoding to w.
 func Save(w io.Writer, idx *Index) error {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lshensemble_test
+
+const raceEnabled = false
