@@ -155,8 +155,11 @@ func runQuery(idx *lshensemble.Index, h *lshensemble.Hasher, file, column string
 	}
 	q := lshensemble.SketchStrings(h, "query", values)
 	start := time.Now()
-	matches := idx.Query(q.Sig, q.Size, t)
+	matches, err := idx.Query(q.Sig, q.Size, t)
 	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
 	sort.Strings(matches)
 	fmt.Printf("query %s:%s (%d distinct values), t* = %.2f → %d candidates in %s\n",
 		file, column, q.Size, t, len(matches), elapsed.Round(time.Microsecond))
@@ -182,8 +185,11 @@ func runBatchQuery(idx *lshensemble.Index, h *lshensemble.Hasher, file string, t
 		queries[i] = lshensemble.BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: t}
 	}
 	start := time.Now()
-	rows := idx.QueryBatch(queries, workers)
+	rows, err := idx.QueryBatch(queries, workers)
 	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
 	total := 0
 	for _, row := range rows {
 		total += len(row)

@@ -1,0 +1,130 @@
+// Command lshensembled serves an LSH Ensemble over HTTP as a live system:
+// domains stream in and out while queries keep flowing — ingest never
+// blocks a query (the index publishes atomically-swapped snapshots; see
+// internal/live).
+//
+// Endpoints (JSON bodies unless noted):
+//
+//	POST /add          {"key": "t1:col", "values": ["a", "b", ...]}
+//	POST /delete       {"key": "t1:col"}
+//	POST /query        {"values": [...], "threshold": 0.7}
+//	POST /query/batch  {"queries": [{"values": [...], "threshold": 0.7}, ...]}
+//	GET  /stats        index shape: segments, buffer, tombstones, counters
+//	POST /compact      full compaction, returns the new shape
+//	POST /save         persist a snapshot to the -snapshot path
+//	GET  /healthz      liveness probe
+//
+// With -snapshot the daemon loads the file at boot when it exists (warm
+// restart) and saves on SIGINT/SIGTERM, so a rolling restart keeps the
+// corpus without replaying ingest.
+//
+// Usage:
+//
+//	lshensembled [-addr :7447] [-hashes 256] [-rmax 8] [-partitions 16]
+//	             [-seed 42] [-seal 4096] [-max-segments 8]
+//	             [-snapshot /var/lib/lshensembled/index.snap]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lshensemble"
+)
+
+func main() {
+	addr := flag.String("addr", ":7447", "listen address")
+	hashes := flag.Int("hashes", 256, "MinHash signature length")
+	rMax := flag.Int("rmax", 8, "LSH forest tree depth")
+	partitions := flag.Int("partitions", 16, "cardinality partitions per sealed segment")
+	seed := flag.Uint64("seed", 42, "hash family seed (must match across restarts and clients)")
+	seal := flag.Int("seal", 4096, "buffered adds that trigger a background seal")
+	maxSegments := flag.Int("max-segments", 8, "sealed segments above which the compactor merges")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown and POST /save")
+	flag.Parse()
+
+	opts := lshensemble.LiveOptions{
+		Options: lshensemble.Options{
+			NumHash:       *hashes,
+			RMax:          *rMax,
+			NumPartitions: *partitions,
+		},
+		SealThreshold: *seal,
+		MaxSegments:   *maxSegments,
+	}
+
+	var idx *lshensemble.LiveIndex
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			loaded, err := loadSnapshot(*snapshot, *seed, opts)
+			if err != nil {
+				log.Fatalf("loading snapshot %s: %v", *snapshot, err)
+			}
+			idx = loaded
+			log.Printf("warm start: %d domains from %s", idx.Len(), *snapshot)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("checking snapshot %s: %v", *snapshot, err)
+		}
+	}
+	if idx == nil {
+		fresh, err := lshensemble.BuildLive(nil, opts)
+		if err != nil {
+			log.Fatalf("initializing index: %v", err)
+		}
+		idx = fresh
+		log.Print("cold start: empty index")
+	}
+	defer idx.Close()
+
+	hasher := lshensemble.NewHasher(*hashes, *seed)
+	srv := newServer(idx, hasher, *seed, *snapshot)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (m=%d, rMax=%d, %d partitions/segment, seal at %d)",
+			*addr, *hashes, *rMax, *partitions, *seal)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("serving: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		n, err := srv.saveSnapshot()
+		if err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("saved %s (%s, %d domains)", *snapshot, byteCount(n), idx.Len())
+	}
+}
+
+func byteCount(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,312 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"lshensemble"
+)
+
+// server is the HTTP face of one live index. Queries hit the lock-free
+// snapshot path and therefore never contend with ingest; mutation endpoints
+// go straight to Add/Delete, which never block queries either. Domain
+// values are sketched server-side with the daemon's hash family, so clients
+// speak raw strings and signatures never cross the wire.
+type server struct {
+	idx    *lshensemble.LiveIndex
+	hasher *lshensemble.Hasher
+	seed   uint64
+	// snapshotPath is the only file the daemon will write ("" disables
+	// /save); the path is fixed at startup, not client-controlled.
+	snapshotPath string
+	saveMu       sync.Mutex
+	mux          *http.ServeMux
+}
+
+func newServer(idx *lshensemble.LiveIndex, hasher *lshensemble.Hasher, seed uint64, snapshotPath string) *server {
+	s := &server{idx: idx, hasher: hasher, seed: seed, snapshotPath: snapshotPath, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- wire types ---
+
+type addRequest struct {
+	Key    string   `json:"key"`
+	Values []string `json:"values"`
+}
+
+type addResponse struct {
+	Replaced bool `json:"replaced"`
+	Size     int  `json:"size"`
+}
+
+type deleteRequest struct {
+	Key string `json:"key"`
+}
+
+type deleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+type queryRequest struct {
+	Values []string `json:"values"`
+	// Threshold is the containment threshold t*; 0 means the 0.5 default.
+	Threshold float64 `json:"threshold"`
+	// Size optionally overrides |Q| (defaults to the distinct value count).
+	Size int `json:"size"`
+}
+
+type queryResponse struct {
+	Matches []string `json:"matches"`
+	Count   int      `json:"count"`
+}
+
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+	// Workers bounds the fan-out of the batch dispatch (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
+type batchResponse struct {
+	Rows []queryResponse `json:"rows"`
+}
+
+type statsResponse struct {
+	lshensemble.LiveStats
+	NumHash int    `json:"num_hash"`
+	RMax    int    `json:"r_max"`
+	Seed    uint64 `json:"seed"`
+}
+
+type saveResponse struct {
+	Path  string `json:"path"`
+	Bytes int    `json:"bytes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+const maxRequestBody = 64 << 20 // an /add or batch body larger than 64 MiB is a client bug
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req addRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, errors.New("key is required"))
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("values must be non-empty"))
+		return
+	}
+	rec := lshensemble.SketchStrings(s.hasher, req.Key, req.Values)
+	replaced, err := s.idx.Add(rec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, addResponse{Replaced: replaced, Size: rec.Size})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, errors.New("key is required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: s.idx.Delete(req.Key)})
+}
+
+// sketchQuery turns one wire query into (signature, size, threshold).
+func (s *server) sketchQuery(q *queryRequest) (lshensemble.BatchQuery, error) {
+	if len(q.Values) == 0 {
+		return lshensemble.BatchQuery{}, errors.New("values must be non-empty")
+	}
+	rec := lshensemble.SketchStrings(s.hasher, "query", q.Values)
+	size := rec.Size
+	if q.Size > 0 {
+		size = q.Size
+	}
+	t := q.Threshold
+	if t == 0 {
+		t = 0.5
+	}
+	if t < 0 || t > 1 {
+		return lshensemble.BatchQuery{}, fmt.Errorf("threshold %v out of range (0, 1]", t)
+	}
+	return lshensemble.BatchQuery{Sig: rec.Sig, Size: size, Threshold: t}, nil
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	q, err := s.sketchQuery(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := s.idx.Query(q.Sig, q.Size, q.Threshold)
+	sort.Strings(matches)
+	writeJSON(w, http.StatusOK, queryResponse{Matches: matches, Count: len(matches)})
+}
+
+func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("queries must be non-empty"))
+		return
+	}
+	queries := make([]lshensemble.BatchQuery, len(req.Queries))
+	for i := range req.Queries {
+		q, err := s.sketchQuery(&req.Queries[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	rows := s.idx.QueryBatch(queries, req.Workers)
+	resp := batchResponse{Rows: make([]queryResponse, len(rows))}
+	for i, row := range rows {
+		sort.Strings(row)
+		resp.Rows[i] = queryResponse{Matches: row, Count: len(row)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	o := s.idx.Options()
+	writeJSON(w, http.StatusOK, statsResponse{
+		LiveStats: s.idx.Stats(),
+		NumHash:   o.NumHash,
+		RMax:      o.RMax,
+		Seed:      s.seed,
+	})
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	s.idx.Compact()
+	s.handleStats(w, nil)
+}
+
+func (s *server) handleSave(w http.ResponseWriter, _ *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusNotFound, errors.New("no -snapshot path configured"))
+		return
+	}
+	n, err := s.saveSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, saveResponse{Path: s.snapshotPath, Bytes: n})
+}
+
+// --- snapshot files ---
+//
+// A daemon snapshot prefixes the live-index encoding with the hash-family
+// seed: signatures from a different family are incomparable garbage, so the
+// seed must round-trip with the data and is verified on load.
+
+var snapshotMagic = [4]byte{'L', 'S', 'H', 'D'}
+
+// saveSnapshot writes the current snapshot to s.snapshotPath via a
+// same-directory temp file + rename, so a crash mid-write never corrupts
+// the previous snapshot. It returns the byte count written.
+func (s *server) saveSnapshot() (int, error) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	buf := append([]byte(nil), snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = s.idx.AppendBinary(buf)
+	dir := filepath.Dir(s.snapshotPath)
+	tmp, err := os.CreateTemp(dir, ".lshensembled-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// loadSnapshot reads a daemon snapshot, verifying the hash-family seed.
+func loadSnapshot(path string, seed uint64, opts lshensemble.LiveOptions) (*lshensemble.LiveIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var header [12]byte
+	if _, err := io.ReadFull(f, header[:]); err != nil {
+		return nil, fmt.Errorf("reading snapshot header: %w", err)
+	}
+	if [4]byte(header[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%s is not a lshensembled snapshot", path)
+	}
+	if saved := binary.LittleEndian.Uint64(header[4:]); saved != seed {
+		return nil, fmt.Errorf("snapshot hash seed %d != configured -seed %d (signatures would be incomparable)", saved, seed)
+	}
+	return lshensemble.LoadLive(f, opts)
+}

@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"lshensemble"
+)
+
+func testServer(t *testing.T, snapshotPath string) (*server, *httptest.Server) {
+	t.Helper()
+	// Seed 1 matches the root-package fixture, whose band collisions at
+	// the exact containment boundary are part of the proven baseline.
+	const seed = 1
+	opts := lshensemble.LiveOptions{
+		Options:       lshensemble.Options{NumHash: 256, RMax: 8, NumPartitions: 4},
+		SealThreshold: 8,
+		MaxSegments:   2,
+	}
+	idx, err := lshensemble.BuildLive(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(idx.Close)
+	s := newServer(idx, lshensemble.NewHasher(256, seed), seed, snapshotPath)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON request and decodes the JSON response into out,
+// requiring the given status.
+func post(t *testing.T, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func get(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// seedCorpus adds the canonical fixture: provinces ⊂ locations, partners
+// with a partial-overlap vendor column.
+func seedCorpus(t *testing.T, base string) {
+	t.Helper()
+	provinces := []string{"Ontario", "Quebec", "British Columbia", "Alberta",
+		"Manitoba", "Saskatchewan", "Nova Scotia", "New Brunswick",
+		"Newfoundland and Labrador", "Prince Edward Island"}
+	locations := append(append([]string{}, provinces...),
+		"Toronto", "Montreal", "Vancouver", "Calgary", "Edmonton",
+		"Ottawa", "Winnipeg", "Halifax", "Victoria", "Regina")
+	partners := []string{"Acme Mining", "Maple Software", "Northern Rail",
+		"Pacific Fisheries", "Prairie Agritech", "Atlantic Shipping"}
+	for key, vals := range map[string][]string{
+		"grants:province": provinces,
+		"geo:location":    locations,
+		"grants:partner":  partners,
+	} {
+		var resp addResponse
+		post(t, base+"/add", addRequest{Key: key, Values: vals}, http.StatusOK, &resp)
+		if resp.Replaced || resp.Size != len(vals) {
+			t.Fatalf("add %s: %+v", key, resp)
+		}
+	}
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	_, ts := testServer(t, "")
+	base := ts.URL
+	get(t, base+"/healthz", nil)
+	seedCorpus(t, base)
+
+	// Containment query: provinces ⊂ locations, so both columns match at
+	// t* = 1.0 and partners does not.
+	var q queryResponse
+	post(t, base+"/query", queryRequest{
+		Values: []string{"Ontario", "Quebec", "British Columbia", "Alberta",
+			"Manitoba", "Saskatchewan", "Nova Scotia", "New Brunswick",
+			"Newfoundland and Labrador", "Prince Edward Island"},
+		Threshold: 1.0,
+	}, http.StatusOK, &q)
+	if !containsKey(q.Matches, "geo:location") || !containsKey(q.Matches, "grants:province") {
+		t.Fatalf("query missed a superset: %v", q.Matches)
+	}
+	if containsKey(q.Matches, "grants:partner") {
+		t.Fatalf("unrelated column matched: %v", q.Matches)
+	}
+
+	// Upsert: re-adding a key reports replaced.
+	var add addResponse
+	post(t, base+"/add", addRequest{Key: "grants:partner", Values: []string{"Acme Mining", "Maple Software"}}, http.StatusOK, &add)
+	if !add.Replaced {
+		t.Fatalf("re-add not reported as replacement: %+v", add)
+	}
+
+	// Delete hides the key from subsequent queries.
+	var del deleteResponse
+	post(t, base+"/delete", deleteRequest{Key: "geo:location"}, http.StatusOK, &del)
+	if !del.Deleted {
+		t.Fatal("delete of existing key reported false")
+	}
+	post(t, base+"/query", queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
+	if containsKey(q.Matches, "geo:location") {
+		t.Fatalf("deleted key still matching: %v", q.Matches)
+	}
+	post(t, base+"/delete", deleteRequest{Key: "geo:location"}, http.StatusOK, &del)
+	if del.Deleted {
+		t.Fatal("double delete reported true")
+	}
+
+	// Batch: rows in query order, same answers as single queries.
+	var batch batchResponse
+	post(t, base+"/query/batch", batchRequest{Queries: []queryRequest{
+		{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0},
+		{Values: []string{"Acme Mining", "Maple Software"}, Threshold: 0.9},
+	}}, http.StatusOK, &batch)
+	if len(batch.Rows) != 2 {
+		t.Fatalf("%d rows", len(batch.Rows))
+	}
+	if !containsKey(batch.Rows[0].Matches, "grants:province") {
+		t.Fatalf("batch row 0: %v", batch.Rows[0].Matches)
+	}
+	if !containsKey(batch.Rows[1].Matches, "grants:partner") {
+		t.Fatalf("batch row 1: %v", batch.Rows[1].Matches)
+	}
+
+	// Stats reflect the mutations; compact purges the tombstones.
+	var st statsResponse
+	get(t, base+"/stats", &st)
+	if st.Domains != 2 || st.NumHash != 256 || st.Seed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	post(t, base+"/compact", nil, http.StatusOK, &st)
+	if st.Tombstones != 0 || st.Buffered != 0 {
+		t.Fatalf("compact left residue: %+v", st)
+	}
+
+	// Input validation.
+	post(t, base+"/add", addRequest{Key: "", Values: []string{"x"}}, http.StatusBadRequest, nil)
+	post(t, base+"/add", addRequest{Key: "k", Values: nil}, http.StatusBadRequest, nil)
+	post(t, base+"/query", queryRequest{Values: []string{"x"}, Threshold: 3}, http.StatusBadRequest, nil)
+	post(t, base+"/query/batch", batchRequest{}, http.StatusBadRequest, nil)
+	post(t, base+"/save", nil, http.StatusNotFound, nil) // no -snapshot configured
+}
+
+func TestDaemonSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "index.snap")
+	s, ts := testServer(t, path)
+	seedCorpus(t, ts.URL)
+	post(t, ts.URL+"/delete", deleteRequest{Key: "grants:partner"}, http.StatusOK, nil)
+
+	var saved saveResponse
+	post(t, ts.URL+"/save", nil, http.StatusOK, &saved)
+	if saved.Path != path || saved.Bytes == 0 {
+		t.Fatalf("save: %+v", saved)
+	}
+
+	// Warm restart: same seed loads and answers identically.
+	loaded, err := loadSnapshot(path, s.seed, lshensemble.LiveOptions{
+		Options: lshensemble.Options{NumHash: 256, RMax: 8, NumPartitions: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", loaded.Len())
+	}
+	ts2 := httptest.NewServer(newServer(loaded, s.hasher, s.seed, ""))
+	defer ts2.Close()
+	var q queryResponse
+	post(t, ts2.URL+"/query", queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
+	if !containsKey(q.Matches, "grants:province") || containsKey(q.Matches, "grants:partner") {
+		t.Fatalf("reloaded daemon answers wrong: %v", q.Matches)
+	}
+
+	// A mismatched seed must be rejected, not silently return garbage.
+	if _, err := loadSnapshot(path, s.seed+1, lshensemble.LiveOptions{}); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+func TestDaemonConcurrentTraffic(t *testing.T) {
+	_, ts := testServer(t, "")
+	base := ts.URL
+	seedCorpus(t, base)
+	// Mixed writers and readers through the real HTTP stack; the tiny
+	// SealThreshold (8) keeps the compactor busy. Run with -race.
+	done := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("w%d:col%d", w, i)
+				vals := []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1), fmt.Sprintf("v%d", w)}
+				b, _ := json.Marshal(addRequest{Key: key, Values: vals})
+				resp, err := http.Post(base+"/add", "application/json", bytes.NewReader(b))
+				if err != nil {
+					done <- err
+					return
+				}
+				resp.Body.Close()
+				if i%5 == 0 {
+					b, _ := json.Marshal(deleteRequest{Key: key})
+					resp, err := http.Post(base+"/delete", "application/json", bytes.NewReader(b))
+					if err != nil {
+						done <- err
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		go func() {
+			for i := 0; i < 25; i++ {
+				b, _ := json.Marshal(queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0})
+				resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(b))
+				if err != nil {
+					done <- err
+					return
+				}
+				var q queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&q)
+				resp.Body.Close()
+				if err != nil {
+					done <- err
+					return
+				}
+				if !containsKey(q.Matches, "grants:province") {
+					done <- fmt.Errorf("query lost grants:province mid-traffic: %v", q.Matches)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st statsResponse
+	get(t, base+"/stats", &st)
+	// 3 fixture columns plus, per writer, 25 added keys of which the 5
+	// multiples of 5 were deleted again.
+	if want := 3 + 4*20; st.Domains != want {
+		t.Fatalf("Domains = %d, want %d", st.Domains, want)
+	}
+}
+
+func containsKey(keys []string, k string) bool {
+	for _, key := range keys {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}

@@ -26,7 +26,11 @@ func TestConcurrentQueries(t *testing.T) {
 	// Reference results computed single-threaded.
 	want := make([][]string, len(queries))
 	for i, qi := range queries {
-		want[i] = idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+		res, err := idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
 	}
 
 	var wg sync.WaitGroup
@@ -38,7 +42,11 @@ func TestConcurrentQueries(t *testing.T) {
 			for rep := 0; rep < 20; rep++ {
 				i := (w + rep) % len(queries)
 				qi := queries[i]
-				got := idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+				got, err := idx.Query(recs[qi].Sig, recs[qi].Size, 0.5)
+				if err != nil {
+					errs <- err
+					return
+				}
 				if len(got) != len(want[i]) {
 					errs <- fmt.Errorf("worker %d: query %d returned %d results, want %d",
 						w, i, len(got), len(want[i]))
@@ -71,8 +79,8 @@ func TestConcurrentTopK(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 10; rep++ {
 				r := recs[(w*37+rep*11)%len(recs)]
-				top := idx.QueryTopK(r.Sig, r.Size, 5)
-				if len(top) == 0 {
+				top, err := idx.QueryTopK(r.Sig, r.Size, 5)
+				if err != nil || len(top) == 0 {
 					t.Errorf("worker %d: empty top-k for self query", w)
 					return
 				}
@@ -103,7 +111,11 @@ func TestConcurrentPooledScratch(t *testing.T) {
 	want := make(map[[2]int]int) // (query, threshold) → result count
 	for i, qi := range queries {
 		for j, ts := range thresholds {
-			want[[2]int{i, j}] = len(idx.QueryIDs(recs[qi].Sig, recs[qi].Size, ts))
+			ids, err := idx.QueryIDs(recs[qi].Sig, recs[qi].Size, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[[2]int{i, j}] = len(ids)
 		}
 	}
 
@@ -119,14 +131,24 @@ func TestConcurrentPooledScratch(t *testing.T) {
 				j := (w + rep) % len(thresholds)
 				qi := queries[i]
 				var got int
+				var qerr error
 				switch rep % 3 {
 				case 0:
-					got = len(idx.QueryIDs(recs[qi].Sig, recs[qi].Size, thresholds[j]))
-				case 1:
-					got = len(idx.Query(recs[qi].Sig, recs[qi].Size, thresholds[j]))
-				default:
-					ids := idx.QueryIDsAppend(nil, recs[qi].Sig, recs[qi].Size, thresholds[j])
+					var ids []uint32
+					ids, qerr = idx.QueryIDs(recs[qi].Sig, recs[qi].Size, thresholds[j])
 					got = len(ids)
+				case 1:
+					var res []string
+					res, qerr = idx.Query(recs[qi].Sig, recs[qi].Size, thresholds[j])
+					got = len(res)
+				default:
+					var ids []uint32
+					ids, qerr = idx.QueryIDsAppend(nil, recs[qi].Sig, recs[qi].Size, thresholds[j])
+					got = len(ids)
+				}
+				if qerr != nil {
+					errs <- qerr
+					return
 				}
 				if got != want[[2]int{i, j}] {
 					errs <- fmt.Errorf("worker %d rep %d: query %d t*=%v returned %d results, want %d",
@@ -134,7 +156,7 @@ func TestConcurrentPooledScratch(t *testing.T) {
 					return
 				}
 				if rep%5 == 0 {
-					if top := idx.QueryTopK(recs[qi].Sig, recs[qi].Size, 5); len(top) == 0 {
+					if top, err := idx.QueryTopK(recs[qi].Sig, recs[qi].Size, 5); err != nil || len(top) == 0 {
 						errs <- fmt.Errorf("worker %d rep %d: empty top-k for self query", w, rep)
 						return
 					}
@@ -165,7 +187,11 @@ func TestPublicTopK(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := records[2] // p3, values v0..v29, contained in p3..p10
-	var top []lshensemble.TopKResult = idx.QueryTopK(q.Sig, q.Size, 3)
+	var top []lshensemble.TopKResult
+	top, err = idx.QueryTopK(q.Sig, q.Size, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(top) != 3 {
 		t.Fatalf("got %d results", len(top))
 	}
@@ -239,7 +265,11 @@ func TestQueryBatchConcurrentWithReindex(t *testing.T) {
 				n := uint32(idx.Len())
 				switch rep % 3 {
 				case 0:
-					idx.QueryBatchInto(&res, batch, 3)
+					if err := idx.QueryBatchInto(&res, batch, 3); err != nil {
+						mu.RUnlock()
+						errs <- err
+						return
+					}
 					for i := 0; i < res.NumRows(); i++ {
 						for _, id := range res.Row(i) {
 							if id >= n {
@@ -250,7 +280,12 @@ func TestQueryBatchConcurrentWithReindex(t *testing.T) {
 						}
 					}
 				case 1:
-					rows := idx.QueryBatch(batch, 2)
+					rows, err := idx.QueryBatch(batch, 2)
+					if err != nil {
+						mu.RUnlock()
+						errs <- err
+						return
+					}
 					if len(rows) != len(batch) {
 						mu.RUnlock()
 						errs <- fmt.Errorf("worker %d rep %d: %d rows", w, rep, len(rows))
@@ -258,7 +293,12 @@ func TestQueryBatchConcurrentWithReindex(t *testing.T) {
 					}
 				default:
 					qi := queries[(w+rep)%len(queries)]
-					ids := idx.ParallelQueryIDs(recs[qi].Sig, recs[qi].Size, 0.5, 4)
+					ids, err := idx.ParallelQueryIDs(recs[qi].Sig, recs[qi].Size, 0.5, 4)
+					if err != nil {
+						mu.RUnlock()
+						errs <- err
+						return
+					}
 					seen := make(map[uint32]bool, len(ids))
 					for _, id := range ids {
 						if id >= n || seen[id] {
@@ -282,6 +322,184 @@ func TestQueryBatchConcurrentWithReindex(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestLiveConcurrentChurn hammers a lshensemble.LiveIndex through the
+// public API with concurrent queriers, adders, deleters AND the background
+// compactor running at aggressive thresholds — the live index needs no
+// external synchronization at all, unlike the RWMutex arrangement of
+// TestQueryBatchConcurrentWithReindex above. Run with -race. Queries assert
+// snapshot invariants (each key at most once, only keys that were ever
+// added); the final compacted state is checked against a model.
+func TestLiveConcurrentChurn(t *testing.T) {
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 900, Seed: 26})
+	h := minhash.NewHasher(128, 26)
+	recs := datagen.Records(corpus, h)
+	idx, err := lshensemble.BuildLive(recs[:300], lshensemble.LiveOptions{
+		Options:       lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 4},
+		SealThreshold: 32,
+		MaxSegments:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	known := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		known[r.Key] = true
+	}
+	var modelMu sync.Mutex
+	model := make(map[string]bool, len(recs))
+	for _, r := range recs[:300] {
+		model[r.Key] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 300 + a; i < len(recs); i += 2 {
+				if _, err := idx.Add(recs[i]); err != nil {
+					errs <- err
+					return
+				}
+				modelMu.Lock()
+				model[recs[i].Key] = true
+				modelMu.Unlock()
+			}
+		}(a)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i += 4 {
+			if idx.Delete(recs[i].Key) {
+				modelMu.Lock()
+				delete(model, recs[i].Key)
+				modelMu.Unlock()
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[string]bool, 64)
+			for rep := 0; rep < 120; rep++ {
+				r := recs[(w*97+rep*13)%len(recs)]
+				var rows [][]string
+				if rep%3 == 0 {
+					rows = idx.QueryBatch([]lshensemble.BatchQuery{
+						{Sig: r.Sig, Size: r.Size, Threshold: 0.5},
+						{Sig: r.Sig, Size: r.Size, Threshold: 1.0},
+					}, 2)
+				} else {
+					rows = [][]string{idx.Query(r.Sig, r.Size, 0.5)}
+				}
+				for _, res := range rows {
+					clear(seen)
+					for _, k := range res {
+						if !known[k] || seen[k] {
+							errs <- fmt.Errorf("worker %d rep %d: bad/duplicate key %q", w, rep, k)
+							return
+						}
+						seen[k] = true
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	idx.Compact()
+	if idx.Len() != len(model) {
+		t.Fatalf("final Len %d, model %d", idx.Len(), len(model))
+	}
+	st := idx.Stats()
+	if st.Tombstones != 0 || st.Buffered != 0 || len(st.Segments) > 1 {
+		t.Fatalf("Compact left residue: %+v", st)
+	}
+	for i, r := range recs {
+		if i%7 != 0 {
+			continue
+		}
+		found := false
+		for _, k := range idx.Query(r.Sig, r.Size, 1.0) {
+			if k == r.Key {
+				found = true
+			}
+		}
+		if want := model[r.Key]; found != want {
+			t.Fatalf("final state: key %q present=%v, model %v", r.Key, found, want)
+		}
+	}
+}
+
+// TestLiveSteadyStateAllocs proves the live fan-out keeps the PR 1/PR 2
+// allocation discipline at the public API: steady-state QueryAppend with a
+// reused destination against a multi-segment snapshot (sealed segments, a
+// live buffer and tombstones all in play) allocates nothing.
+func TestLiveSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates and randomizes sync.Pool reuse")
+	}
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: 800, Seed: 27})
+	h := minhash.NewHasher(128, 27)
+	recs := datagen.Records(corpus, h)
+	idx, err := lshensemble.BuildLive(recs[:400], lshensemble.LiveOptions{
+		Options:          lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8},
+		ManualCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for _, r := range recs[400:600] {
+		if _, err := idx.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.Flush()
+	for _, r := range recs[600:700] {
+		if _, err := idx.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.Flush()
+	for _, r := range recs[700:750] {
+		if _, err := idx.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 750; i += 31 {
+		idx.Delete(recs[i].Key)
+	}
+	st := idx.Stats()
+	if len(st.Segments) < 3 || st.Buffered == 0 || st.Tombstones == 0 {
+		t.Fatalf("fixture shape wrong: %+v", st)
+	}
+
+	var dst []string
+	warm := func() {
+		for i := 1; i < len(recs); i += 37 {
+			dst = idx.QueryAppend(dst[:0], recs[i].Sig, recs[i].Size, 0.5)
+		}
+	}
+	warm()
+	warm()
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = idx.QueryAppend(dst[:0], recs[101].Sig, recs[101].Size, 0.5)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state live QueryAppend allocates %.1f per query, want 0", allocs)
 	}
 }
 

@@ -105,7 +105,43 @@
 //
 // Concurrency contract: an Index is safe for any number of concurrent
 // readers (Query*, QueryBatch*, ParallelQueryIDs); Add and Reindex require
-// exclusive access, as with an RWMutex.
+// exclusive access, as with an RWMutex. Querying an Index that has Adds not
+// yet folded in by Reindex returns core.ErrDirty rather than panicking.
+//
+// # Live index
+//
+// LiveIndex (BuildLive) removes the exclusive-access requirement entirely:
+// it is the serving-system layer for corpora that churn under load. A
+// LiveIndex holds an atomically-swapped snapshot of three immutable parts —
+// sealed segments (each a frozen Index over a slice of the corpus), an
+// unsealed buffer of recent Adds (scanned as one extra partition with the
+// same (b, r) banding test), and a tombstone set recording Deletes and
+// replacements. Its guarantees:
+//
+//   - Queries never block on ingest or compaction: readers load the
+//     snapshot pointer once and touch only immutable data; writers and the
+//     compactor publish whole new snapshots with a single pointer swap.
+//   - Every query answers from a consistent point-in-time snapshot:
+//     readers in flight keep the snapshot they loaded, and each live key
+//     appears at most once per result.
+//   - Add is an upsert (replacing any previous entry of the key), Delete
+//     tombstones immediately; both serialize on a writer mutex that the
+//     read path never touches.
+//   - A background compactor seals the buffer into a segment past
+//     LiveOptions.SealThreshold and merges the two smallest segments past
+//     LiveOptions.MaxSegments, using the parallel construction path; dead
+//     entries are dropped as segments rebuild.
+//   - Compaction is equivalence-preserving: full Compact leaves a single
+//     segment that is bit-identical to a fresh Build over the surviving
+//     records in mutation order (and therefore answers every query
+//     identically), with every tombstone purged.
+//   - SaveLive/LoadLive persist a point-in-time snapshot for warm restarts;
+//     Save is safe while writers run.
+//
+// cmd/lshensembled serves a LiveIndex over HTTP (/add, /delete, /query,
+// /query/batch backed by the batch engine, /stats, /compact, /save) with
+// snapshot load at boot and save on shutdown; examples/dynamic walks the
+// churn-and-compact lifecycle.
 //
 // See ROADMAP.md for representative before/after benchmark numbers.
 //

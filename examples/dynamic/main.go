@@ -1,7 +1,11 @@
-// Dynamic-data demo (paper Section 6.2): an LSH Ensemble built with
-// equi-depth partitioning keeps working as new domains with a *different*
-// size distribution stream in — partition sizes drift away from equi-depth,
-// but accuracy degrades only gradually, and a rebuild restores the balance.
+// Dynamic-data demo (paper Section 6.2), now on the live index: the corpus
+// churns — drifted batches stream in through Add, stale domains leave
+// through Delete — while the index stays queryable the whole time. The
+// background compactor seals the ingest buffer into segments and merges
+// them as they accumulate; no stop-the-world Reindex ever runs. Partition
+// balance still drifts (each sealed segment re-partitions only its own
+// slice), and a full Compact — the live replacement for the old rebuild —
+// restores equi-depth balance over the surviving corpus.
 //
 //	go run ./examples/dynamic [-n 2000] [-batches 4]
 package main
@@ -16,10 +20,9 @@ import (
 	"lshensemble/internal/eval"
 	"lshensemble/internal/exact"
 	"lshensemble/internal/minhash"
-	"lshensemble/internal/partition"
 )
 
-func measure(idx *lshensemble.Index, corpus *datagen.Corpus,
+func measure(idx *lshensemble.LiveIndex, corpus *datagen.Corpus,
 	records []lshensemble.DomainRecord, nq int) (prec, rec float64) {
 	engine := exact.Build(datagen.ExactDomains(corpus))
 	queries := datagen.SampleQueries(corpus, nq, 11)
@@ -33,6 +36,11 @@ func measure(idx *lshensemble.Index, corpus *datagen.Corpus,
 	return avg.Precision(), avg.Recall()
 }
 
+func describe(st lshensemble.LiveStats) string {
+	return fmt.Sprintf("%d domains in %d segments (+%d buffered, %d tombstones, %d seals/%d merges)",
+		st.Domains, len(st.Segments), st.Buffered, st.Tombstones, st.Seals, st.Merges)
+}
+
 func main() {
 	n := flag.Int("n", 2000, "initial corpus size")
 	batches := flag.Int("batches", 4, "number of drifted insert batches")
@@ -42,17 +50,21 @@ func main() {
 	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: *n, Seed: 11})
 	records := datagen.Records(corpus, hasher)
 
-	idx, err := lshensemble.Build(records, lshensemble.Options{NumPartitions: 16})
+	idx, err := lshensemble.BuildLive(records, lshensemble.LiveOptions{
+		Options:       lshensemble.Options{NumPartitions: 16},
+		SealThreshold: *n / 4, // several seals per drifted batch
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 	p, r := measure(idx, corpus, records, 50)
-	fmt.Printf("initial: %d domains, partition-count stddev %.1f, P=%.3f R=%.3f\n",
-		idx.Len(), partition.CountStdDev(idx.PartitionBounds()), p, r)
+	fmt.Printf("initial: %s, P=%.3f R=%.3f\n", describe(idx.Stats()), p, r)
 
 	// Stream in batches whose sizes are drawn from a *heavier* distribution
-	// (alpha 1.5 instead of 2.0): the equi-depth partitioning was not built
-	// for these, so partition counts drift apart.
+	// (alpha 1.5 instead of 2.0), while retiring a slice of the oldest
+	// domains — ingest and deletes never block the measurement queries
+	// above, and the compactor seals behind the stream.
 	for b := 1; b <= *batches; b++ {
 		drift := datagen.OpenData(datagen.OpenDataConfig{
 			NumDomains: *n / 2, Alpha: 1.5, Seed: uint64(100 + b),
@@ -62,24 +74,44 @@ func main() {
 			key := fmt.Sprintf("batch%d-%s", b, driftRecs[i].Key)
 			driftRecs[i].Key = key
 			drift.Domains[i].Key = key
-			if err := idx.Add(driftRecs[i]); err != nil {
+			if _, err := idx.Add(driftRecs[i]); err != nil {
 				log.Fatal(err)
 			}
 		}
-		idx.Reindex()
 		corpus.Domains = append(corpus.Domains, drift.Domains...)
 		records = append(records, driftRecs...)
+
+		// Retire every 10th domain of the previous generation. The exact
+		// engine's ground truth must retire them too, so precision/recall
+		// keep comparing the index against the *surviving* corpus.
+		retired := 0
+		for i := 0; i < len(corpus.Domains); i += 10 {
+			if idx.Delete(corpus.Domains[i].Key) {
+				retired++
+				corpus.Domains[i] = datagen.Domain{}
+			}
+		}
+		live := corpus.Domains[:0]
+		liveRecs := records[:0]
+		for i, d := range corpus.Domains {
+			if d.Key != "" {
+				live = append(live, d)
+				liveRecs = append(liveRecs, records[i])
+			}
+		}
+		corpus.Domains = live
+		records = liveRecs
+
+		idx.Flush() // drain the buffer so the printed shape is all segments
 		p, r := measure(idx, corpus, records, 50)
-		fmt.Printf("after batch %d: %d domains, partition-count stddev %.1f, P=%.3f R=%.3f\n",
-			b, idx.Len(), partition.CountStdDev(idx.PartitionBounds()), p, r)
+		fmt.Printf("after batch %d (retired %d): %s, P=%.3f R=%.3f\n",
+			b, retired, describe(idx.Stats()), p, r)
 	}
 
-	// Rebuild: repartitioning restores equi-depth balance.
-	rebuilt, err := lshensemble.Build(records, lshensemble.Options{NumPartitions: 16})
-	if err != nil {
-		log.Fatal(err)
-	}
-	p, r = measure(rebuilt, corpus, records, 50)
-	fmt.Printf("rebuilt: %d domains, partition-count stddev %.1f, P=%.3f R=%.3f\n",
-		rebuilt.Len(), partition.CountStdDev(rebuilt.PartitionBounds()), p, r)
+	// Full compaction replaces the old stop-the-world rebuild: one segment,
+	// equi-depth re-partitioned over the surviving corpus, tombstones gone —
+	// and queries kept flowing the whole time.
+	idx.Compact()
+	p, r = measure(idx, corpus, records, 50)
+	fmt.Printf("compacted: %s, P=%.3f R=%.3f\n", describe(idx.Stats()), p, r)
 }

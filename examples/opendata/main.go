@@ -55,7 +55,12 @@ func main() {
 		}{
 			{"Baseline", base.Query},
 			{"Asym", asymIdx.Query},
-			{"LSH Ensemble (16)", ensemble.Query},
+			// The ensemble is built once and never grows here, so the
+			// pending-adds error can be dropped.
+			{"LSH Ensemble (16)", func(sig lshensemble.Signature, size int, t float64) []string {
+				res, _ := ensemble.Query(sig, size, t)
+				return res
+			}},
 		} {
 			var avg eval.Averager
 			for _, qi := range queries {
@@ -72,7 +77,10 @@ func main() {
 	qi := queries[0]
 	fmt.Printf("\njoinable domains for %s (%d values) at t* = 0.5:\n",
 		corpus.Domains[qi].Key, len(corpus.Domains[qi].Values))
-	matches := ensemble.Query(records[qi].Sig, records[qi].Size, 0.5)
+	matches, err := ensemble.Query(records[qi].Sig, records[qi].Size, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	scores := engine.Scores(corpus.Domains[qi].Values)
 	byKey := map[string]float64{}
 	for id, s := range scores {

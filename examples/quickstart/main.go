@@ -48,7 +48,10 @@ func main() {
 	q := []string{"Ontario", "Toronto"}
 	query := lshensemble.SketchStrings(hasher, "Q", q)
 	for _, t := range []float64{1.0, 0.5} {
-		matches := index.Query(query.Sig, query.Size, t)
+		matches, err := index.Query(query.Sig, query.Size, t)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sort.Strings(matches)
 		fmt.Printf("t* = %.1f → candidates %v", t, matches)
 		var verified []string

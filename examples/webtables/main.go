@@ -59,7 +59,7 @@ func main() {
 			wg.Add(1)
 			go func(i int, idx *lshensemble.Index) {
 				defer wg.Done()
-				results[i] = idx.Query(sig, size, t)
+				results[i], _ = idx.Query(sig, size, t)
 			}(i, idx)
 		}
 		wg.Wait()

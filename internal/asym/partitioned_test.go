@@ -139,7 +139,14 @@ func TestPartitioningDoesNotRescueAsymRecall(t *testing.T) {
 	}
 
 	rParted := measureRecallInPartition(t, parted.Query, recs, sizes, tStar, tail.Lower, tail.Upper)
-	rEns := measureRecallInPartition(t, ens.Query, recs, sizes, tStar, tail.Lower, tail.Upper)
+	ensQuery := func(sig minhash.Signature, querySize int, tStar float64) []string {
+		res, err := ens.Query(sig, querySize, tStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rEns := measureRecallInPartition(t, ensQuery, recs, sizes, tStar, tail.Lower, tail.Upper)
 	t.Logf("tail partition [%d, %d]: partitioned-asym recall %.3f, ensemble recall %.3f",
 		tail.Lower, tail.Upper, rParted, rEns)
 

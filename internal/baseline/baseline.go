@@ -30,9 +30,11 @@ func Build(records []core.Record, numHash, rMax int) (*Index, error) {
 }
 
 // Query returns the keys of candidate domains for the query signature at
-// containment threshold tStar.
+// containment threshold tStar. The baseline is built once and never grows,
+// so the wrapped index can never be dirty and the error is always nil.
 func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
-	return x.inner.Query(sig, querySize, tStar)
+	res, _ := x.inner.Query(sig, querySize, tStar)
+	return res
 }
 
 // Len returns the number of indexed domains.

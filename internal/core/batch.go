@@ -132,16 +132,16 @@ func (st *batchState) serve(w int) {
 // into res — reusing its arena, so a serving loop that recycles one
 // BatchResults performs zero steady-state allocations per query. Queries are
 // pulled from a shared counter, so stragglers (queries with huge candidate
-// sets) do not leave other workers idle. It panics if the index has pending
-// Adds (call Reindex first); it must not run concurrently with Add/Reindex,
-// exactly like every other query entry point.
-func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers int) {
+// sets) do not leave other workers idle. It returns ErrDirty if the index
+// has pending Adds (call Reindex first); it must not run concurrently with
+// Add/Reindex, exactly like every other query entry point.
+func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers int) error {
 	if x.dirty {
-		panic("core: Query after Add without Reindex")
+		return ErrDirty
 	}
 	res.reset(len(queries))
 	if len(queries) == 0 || len(x.keys) == 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -198,6 +198,7 @@ func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers 
 	st.x = nil
 	st.queries = nil
 	x.batch.Put(st)
+	return nil
 }
 
 // QueryBatch answers every query of the batch with up to `workers`
@@ -205,14 +206,16 @@ func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers 
 // query order. The rows share one freshly allocated arena. Serving loops
 // that care about allocation should use QueryBatchInto with a reused
 // BatchResults instead.
-func (x *Index) QueryBatch(queries []BatchQuery, workers int) [][]uint32 {
+func (x *Index) QueryBatch(queries []BatchQuery, workers int) ([][]uint32, error) {
 	var res BatchResults
-	x.QueryBatchInto(&res, queries, workers)
+	if err := x.QueryBatchInto(&res, queries, workers); err != nil {
+		return nil, err
+	}
 	out := make([][]uint32, len(queries))
 	for i := range out {
 		out[i] = res.Row(i)
 	}
-	return out
+	return out, nil
 }
 
 // ParallelQueryIDs is QueryIDs with the partition probes of one query split
@@ -227,12 +230,12 @@ func (x *Index) QueryBatch(queries []BatchQuery, workers int) [][]uint32 {
 // query stream is too thin for QueryBatch to fill the cores. For batched
 // traffic, QueryBatch parallelizes across queries with far less
 // coordination overhead per probe.
-func (x *Index) ParallelQueryIDs(sig minhash.Signature, querySize int, tStar float64, workers int) []uint32 {
+func (x *Index) ParallelQueryIDs(sig minhash.Signature, querySize int, tStar float64, workers int) ([]uint32, error) {
 	if x.dirty {
-		panic("core: Query after Add without Reindex")
+		return nil, ErrDirty
 	}
 	if querySize <= 0 || len(x.keys) == 0 {
-		return nil
+		return nil, nil
 	}
 	workers = par.Clamp(workers, len(x.parts))
 	if workers <= 1 {
@@ -262,5 +265,5 @@ func (x *Index) ParallelQueryIDs(sig minhash.Signature, querySize int, tStar flo
 			x.releaseScratch(s)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -13,6 +13,16 @@ func sortedIDs(ids []uint32) []uint32 {
 	return out
 }
 
+// mustQueryIDs is the test shorthand for QueryIDs on a clean index.
+func mustQueryIDs(t testing.TB, x *Index, q BatchQuery) []uint32 {
+	t.Helper()
+	ids, err := x.QueryIDs(q.Sig, q.Size, q.Threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
 func equalIDs(a, b []uint32) bool {
 	if len(a) != len(b) {
 		return false
@@ -45,10 +55,13 @@ func TestQueryBatchMatchesSerial(t *testing.T) {
 	}
 	want := make([][]uint32, len(queries))
 	for i, q := range queries {
-		want[i] = idx.QueryIDs(q.Sig, q.Size, q.Threshold)
+		want[i] = mustQueryIDs(t, idx, q)
 	}
 	for _, workers := range []int{0, 1, 2, 4, 16, len(queries) + 5} {
-		rows := idx.QueryBatch(queries, workers)
+		rows, err := idx.QueryBatch(queries, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(rows) != len(queries) {
 			t.Fatalf("workers=%d: %d rows for %d queries", workers, len(rows), len(queries))
 		}
@@ -76,12 +89,14 @@ func TestQueryBatchIntoReuse(t *testing.T) {
 			r := c.records[(i*13)%len(c.records)]
 			queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.5}
 		}
-		idx.QueryBatchInto(&res, queries, 4)
+		if err := idx.QueryBatchInto(&res, queries, 4); err != nil {
+			t.Fatal(err)
+		}
 		if res.NumRows() != n {
 			t.Fatalf("n=%d: NumRows %d", n, res.NumRows())
 		}
 		for i, q := range queries {
-			want := idx.QueryIDs(q.Sig, q.Size, q.Threshold)
+			want := mustQueryIDs(t, idx, q)
 			if !equalIDs(sortedIDs(res.Row(i)), sortedIDs(want)) {
 				t.Fatalf("n=%d row %d: got %d ids, want %d", n, i, len(res.Row(i)), len(want))
 			}
@@ -97,28 +112,31 @@ func TestQueryBatchEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows := idx.QueryBatch(nil, 4); len(rows) != 0 {
-		t.Fatalf("empty batch returned %d rows", len(rows))
+	if rows, err := idx.QueryBatch(nil, 4); err != nil || len(rows) != 0 {
+		t.Fatalf("empty batch returned %d rows (err %v)", len(rows), err)
 	}
 	r := c.records[0]
-	rows := idx.QueryBatch([]BatchQuery{
+	rows, err := idx.QueryBatch([]BatchQuery{
 		{Sig: r.Sig, Size: 0, Threshold: 0.5},     // invalid size → empty row
 		{Sig: r.Sig, Size: r.Size, Threshold: -3}, // clamped to 0
 		{Sig: r.Sig, Size: r.Size, Threshold: 5},  // clamped to 1
 	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows[0]) != 0 {
 		t.Fatalf("zero-size query returned %d ids", len(rows[0]))
 	}
-	if want := idx.QueryIDs(r.Sig, r.Size, 0); !equalIDs(sortedIDs(rows[1]), sortedIDs(want)) {
+	if want := mustQueryIDs(t, idx, BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0}); !equalIDs(sortedIDs(rows[1]), sortedIDs(want)) {
 		t.Fatalf("t*<0 row mismatch: %d vs %d", len(rows[1]), len(want))
 	}
-	if want := idx.QueryIDs(r.Sig, r.Size, 1); !equalIDs(sortedIDs(rows[2]), sortedIDs(want)) {
+	if want := mustQueryIDs(t, idx, BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 1}); !equalIDs(sortedIDs(rows[2]), sortedIDs(want)) {
 		t.Fatalf("t*>1 row mismatch: %d vs %d", len(rows[2]), len(want))
 	}
 }
 
-// TestQueryBatchPanicsWhenDirty mirrors the single-query contract.
-func TestQueryBatchPanicsWhenDirty(t *testing.T) {
+// TestQueryBatchErrDirty mirrors the single-query contract.
+func TestQueryBatchErrDirty(t *testing.T) {
 	c := makeCorpus(t, 50, 64, 34)
 	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 4})
 	if err != nil {
@@ -127,12 +145,9 @@ func TestQueryBatchPanicsWhenDirty(t *testing.T) {
 	if err := idx.Add(c.records[0]); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("QueryBatch on dirty index did not panic")
-		}
-	}()
-	idx.QueryBatch([]BatchQuery{{Sig: c.records[0].Sig, Size: 10, Threshold: 0.5}}, 2)
+	if _, err := idx.QueryBatch([]BatchQuery{{Sig: c.records[0].Sig, Size: 10, Threshold: 0.5}}, 2); err != ErrDirty {
+		t.Fatalf("QueryBatch on dirty index: err = %v, want ErrDirty", err)
+	}
 }
 
 // TestParallelQueryIDsMatchesSerial checks the intra-query mode against
@@ -146,9 +161,13 @@ func TestParallelQueryIDsMatchesSerial(t *testing.T) {
 	for qi := 0; qi < len(c.records); qi += 61 {
 		r := c.records[qi]
 		for _, tStar := range []float64{0.2, 0.5, 0.9} {
-			want := sortedIDs(idx.QueryIDs(r.Sig, r.Size, tStar))
+			want := sortedIDs(mustQueryIDs(t, idx, BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: tStar}))
 			for _, workers := range []int{0, 1, 2, 4, 64} {
-				got := sortedIDs(idx.ParallelQueryIDs(r.Sig, r.Size, tStar, workers))
+				pids, err := idx.ParallelQueryIDs(r.Sig, r.Size, tStar, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := sortedIDs(pids)
 				if !equalIDs(got, want) {
 					t.Fatalf("query %d t*=%v workers=%d: got %d ids, want %d",
 						qi, tStar, workers, len(got), len(want))

@@ -78,6 +78,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// WithDefaults returns o with zero fields replaced by the paper's defaults
+// (the same normalization Build applies). Layered indexes (internal/live)
+// use it so every segment build sees identical effective options.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+// Validate reports whether the (already defaulted) options are usable.
+func (o Options) Validate() error { return o.validate() }
+
 func (o Options) validate() error {
 	if o.NumHash < 1 {
 		return fmt.Errorf("core: NumHash %d < 1", o.NumHash)
@@ -142,6 +150,14 @@ func (x *Index) releaseScratch(s *queryScratch) {
 
 // ErrEmpty is returned by Build when no records are given.
 var ErrEmpty = errors.New("core: no records to index")
+
+// ErrDirty is returned by every query entry point when the index holds Adds
+// that Reindex has not folded in yet. Serving systems must treat it as a
+// caller bug (query and Add/Reindex need external synchronization), but it
+// is returned rather than panicking so a daemon thread can refuse the query
+// and keep serving. The deeper invariant — probing an unindexed forest —
+// still panics inside lshforest, as an internal consistency check.
+var ErrDirty = errors.New("core: index has pending adds; call Reindex before querying")
 
 // Build constructs the ensemble over the records. Every record signature
 // must be at least opts.NumHash long and record sizes must be positive.
@@ -326,6 +342,12 @@ func (x *Index) Key(id uint32) string { return x.keys[id] }
 // Size returns the exact cardinality of the domain with the given id.
 func (x *Index) Size(id uint32) int { return x.sizes[id] }
 
+// Signature returns the stored MinHash signature of the domain with the
+// given id, as a view into the index's backing store. Callers must not
+// mutate it. Layered indexes (internal/live) use it to carry records into a
+// merged segment without re-sketching.
+func (x *Index) Signature(id uint32) minhash.Signature { return x.sigs[id] }
+
 // PartitionBounds returns the (lower, upper, count) of each partition, for
 // inspection and experiments.
 func (x *Index) PartitionBounds() []partition.Partition {
@@ -341,23 +363,24 @@ func (x *Index) PartitionBounds() []partition.Partition {
 // query under each partition's tuned (b, r). querySize is |Q| (use the
 // exact size when known, or minhash.Signature.Cardinality's estimate —
 // Algorithm 1's approx(|Q|)). tStar is the containment threshold t*.
-func (x *Index) QueryIDs(sig minhash.Signature, querySize int, tStar float64) []uint32 {
+// It returns ErrDirty if the index has Adds not yet folded in by Reindex.
+func (x *Index) QueryIDs(sig minhash.Signature, querySize int, tStar float64) ([]uint32, error) {
 	return x.QueryIDsAppend(nil, sig, querySize, tStar)
 }
 
 // QueryIDsAppend is QueryIDs appending into dst (which may be nil). Reusing
 // dst across queries makes the steady-state query path allocation-free.
-func (x *Index) QueryIDsAppend(dst []uint32, sig minhash.Signature, querySize int, tStar float64) []uint32 {
+func (x *Index) QueryIDsAppend(dst []uint32, sig minhash.Signature, querySize int, tStar float64) ([]uint32, error) {
 	if x.dirty {
-		panic("core: Query after Add without Reindex")
+		return dst, ErrDirty
 	}
 	if querySize <= 0 || len(x.keys) == 0 {
-		return dst
+		return dst, nil
 	}
 	s := x.acquireScratch()
 	dst = x.queryInto(dst, s, sig, querySize, tStar)
 	x.releaseScratch(s)
-	return dst
+	return dst, nil
 }
 
 // clampThreshold confines t* to [0, 1].
@@ -413,12 +436,12 @@ func (x *Index) queryPartition(dst []uint32, s *queryScratch, pi int, sig minhas
 
 // Query returns the keys of all candidate domains for the query signature.
 // See QueryIDs for parameter semantics.
-func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
+func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
 	if x.dirty {
-		panic("core: Query after Add without Reindex")
+		return nil, ErrDirty
 	}
 	if querySize <= 0 || len(x.keys) == 0 {
-		return nil
+		return nil, nil
 	}
 	s := x.acquireScratch()
 	s.ids = x.queryInto(s.ids[:0], s, sig, querySize, tStar)
@@ -427,7 +450,7 @@ func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []str
 		out[i] = x.keys[id]
 	}
 	x.releaseScratch(s)
-	return out
+	return out, nil
 }
 
 // --- serialization ---

@@ -50,6 +50,17 @@ func makeCorpus(t testing.TB, n, numHash int, seed uint64) *testCorpus {
 	return c
 }
 
+// mustQuery is the test shorthand for Query on an index with no pending
+// adds; it fails the test on any error.
+func mustQuery(t testing.TB, x *Index, sig minhash.Signature, querySize int, tStar float64) []string {
+	t.Helper()
+	res, err := x.Query(sig, querySize, tStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // trueContainment computes t(Q, X) exactly.
 func trueContainment(q, x []uint64) float64 {
 	set := make(map[uint64]struct{}, len(x))
@@ -105,7 +116,7 @@ func TestSelfRetrieval(t *testing.T) {
 	}
 	for _, tStar := range []float64{0.1, 0.5, 1.0} {
 		for i, r := range c.records {
-			got := x.Query(r.Sig, r.Size, tStar)
+			got := mustQuery(t, x, r.Sig, r.Size, tStar)
 			found := false
 			for _, k := range got {
 				if k == r.Key {
@@ -134,7 +145,7 @@ func TestRecallAgainstGroundTruth(t *testing.T) {
 		q := c.values[qi*7%len(c.values)]
 		sig := c.records[qi*7%len(c.values)].Sig
 		got := map[string]bool{}
-		for _, k := range x.Query(sig, len(q), tStar) {
+		for _, k := range mustQuery(t, x, sig, len(q), tStar) {
 			got[k] = true
 		}
 		for xi, xv := range c.values {
@@ -169,7 +180,7 @@ func TestMorePartitionsImprovePrecision(t *testing.T) {
 		for qi := 0; qi < 40; qi++ {
 			idx := qi * 13 % len(c.values)
 			q := c.values[idx]
-			res := x.Query(c.records[idx].Sig, len(q), tStar)
+			res := mustQuery(t, x, c.records[idx].Sig, len(q), tStar)
 			returned += len(res)
 			for _, k := range res {
 				var xi int
@@ -203,8 +214,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	for qi := 0; qi < 30; qi++ {
 		r := c.records[qi*11%len(c.records)]
-		a := seq.Query(r.Sig, r.Size, 0.4)
-		b := par.Query(r.Sig, r.Size, 0.4)
+		a := mustQuery(t, seq, r.Sig, r.Size, 0.4)
+		b := mustQuery(t, par, r.Sig, r.Size, 0.4)
 		sort.Strings(a)
 		sort.Strings(b)
 		if len(a) != len(b) {
@@ -227,7 +238,7 @@ func TestPartitionSkipping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := x.Query(c.records[0].Sig, 10_000_000, 0.9)
+	res := mustQuery(t, x, c.records[0].Sig, 10_000_000, 0.9)
 	if len(res) != 0 {
 		t.Fatalf("impossible threshold returned %d candidates", len(res))
 	}
@@ -251,7 +262,7 @@ func TestAddAndReindex(t *testing.T) {
 	// Newly added domains must be retrievable.
 	r := c.records[75]
 	found := false
-	for _, k := range x.Query(r.Sig, r.Size, 0.9) {
+	for _, k := range mustQuery(t, x, r.Sig, r.Size, 0.9) {
 		if k == r.Key {
 			found = true
 		}
@@ -294,7 +305,7 @@ func TestAddOutOfRangeSizeExtendsBoundary(t *testing.T) {
 	}
 	for _, r := range []Record{big, small} {
 		found := false
-		for _, k := range x.Query(r.Sig, r.Size, 1.0) {
+		for _, k := range mustQuery(t, x, r.Sig, r.Size, 1.0) {
 			if k == r.Key {
 				found = true
 			}
@@ -305,7 +316,7 @@ func TestAddOutOfRangeSizeExtendsBoundary(t *testing.T) {
 	}
 }
 
-func TestQueryAfterAddPanics(t *testing.T) {
+func TestQueryAfterAddReturnsErrDirty(t *testing.T) {
 	c := makeCorpus(t, 10, 64, 7)
 	x, err := Build(c.records[:9], Options{NumHash: 64, RMax: 4, NumPartitions: 2})
 	if err != nil {
@@ -314,12 +325,35 @@ func TestQueryAfterAddPanics(t *testing.T) {
 	if err := x.Add(c.records[9]); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Query after Add without Reindex did not panic")
-		}
-	}()
-	x.Query(c.records[0].Sig, 10, 0.5)
+	sig, size := c.records[0].Sig, 10
+	if _, err := x.Query(sig, size, 0.5); err != ErrDirty {
+		t.Fatalf("Query on dirty index: err = %v, want ErrDirty", err)
+	}
+	if _, err := x.QueryIDs(sig, size, 0.5); err != ErrDirty {
+		t.Fatalf("QueryIDs on dirty index: err = %v, want ErrDirty", err)
+	}
+	if _, err := x.QueryIDsAppend(nil, sig, size, 0.5); err != ErrDirty {
+		t.Fatalf("QueryIDsAppend on dirty index: err = %v, want ErrDirty", err)
+	}
+	if _, err := x.QueryTopK(sig, size, 3); err != ErrDirty {
+		t.Fatalf("QueryTopK on dirty index: err = %v, want ErrDirty", err)
+	}
+	if _, err := x.ParallelQueryIDs(sig, size, 0.5, 2); err != ErrDirty {
+		t.Fatalf("ParallelQueryIDs on dirty index: err = %v, want ErrDirty", err)
+	}
+	batch := []BatchQuery{{Sig: sig, Size: size, Threshold: 0.5}}
+	if _, err := x.QueryBatch(batch, 2); err != ErrDirty {
+		t.Fatalf("QueryBatch on dirty index: err = %v, want ErrDirty", err)
+	}
+	var res BatchResults
+	if err := x.QueryBatchInto(&res, batch, 2); err != ErrDirty {
+		t.Fatalf("QueryBatchInto on dirty index: err = %v, want ErrDirty", err)
+	}
+	// Reindex clears the condition.
+	x.Reindex()
+	if _, err := x.Query(sig, size, 0.5); err != nil {
+		t.Fatalf("Query after Reindex: %v", err)
+	}
 }
 
 func TestQueryEdgeCases(t *testing.T) {
@@ -328,12 +362,12 @@ func TestQueryEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := x.QueryIDs(c.records[0].Sig, 0, 0.5); got != nil {
-		t.Fatal("zero query size should return nil")
+	if got, err := x.QueryIDs(c.records[0].Sig, 0, 0.5); err != nil || got != nil {
+		t.Fatalf("zero query size should return nil, nil (got %v, %v)", got, err)
 	}
 	// Threshold clamping must not panic.
-	x.Query(c.records[0].Sig, 10, -0.5)
-	x.Query(c.records[0].Sig, 10, 1.5)
+	mustQuery(t, x, c.records[0].Sig, 10, -0.5)
+	mustQuery(t, x, c.records[0].Sig, 10, 1.5)
 }
 
 func TestEstimatedQuerySize(t *testing.T) {
@@ -352,7 +386,7 @@ func TestEstimatedQuerySize(t *testing.T) {
 			est = 1
 		}
 		found := false
-		for _, k := range x.Query(r.Sig, est, 0.8) {
+		for _, k := range mustQuery(t, x, r.Sig, est, 0.8) {
 			if k == r.Key {
 				found = true
 			}
@@ -375,7 +409,7 @@ func TestCustomPartitioner(t *testing.T) {
 		}
 		r := c.records[0]
 		found := false
-		for _, k := range x.Query(r.Sig, r.Size, 1.0) {
+		for _, k := range mustQuery(t, x, r.Sig, r.Size, 1.0) {
 			if k == r.Key {
 				found = true
 			}
@@ -424,8 +458,8 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 	for qi := 0; qi < 20; qi++ {
 		r := c.records[qi*7%len(c.records)]
-		a := x.Query(r.Sig, r.Size, 0.5)
-		b := y.Query(r.Sig, r.Size, 0.5)
+		a := mustQuery(t, x, r.Sig, r.Size, 0.5)
+		b := mustQuery(t, y, r.Sig, r.Size, 0.5)
 		sort.Strings(a)
 		sort.Strings(b)
 		if fmt.Sprint(a) != fmt.Sprint(b) {
@@ -467,6 +501,6 @@ func BenchmarkQuery1k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := c.records[i%len(c.records)]
-		x.Query(r.Sig, r.Size, 0.5)
+		mustQuery(b, x, r.Sig, r.Size, 0.5)
 	}
 }

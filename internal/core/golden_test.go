@@ -120,8 +120,8 @@ func TestEnsembleGoldenDecode(t *testing.T) {
 		sig := live.sigOf(uint32(id))
 		size := live.Size(uint32(id))
 		for _, tStar := range []float64{0.1, 0.5, 0.9} {
-			want := live.QueryIDs(sig, size, tStar)
-			got := x.QueryIDs(sig, size, tStar)
+			want := mustQueryIDs(t, live, BatchQuery{Sig: sig, Size: size, Threshold: tStar})
+			got := mustQueryIDs(t, x, BatchQuery{Sig: sig, Size: size, Threshold: tStar})
 			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
 			if len(want) != len(got) {

@@ -33,13 +33,14 @@ var topKThresholds = func() []float64 {
 // ladder, collecting candidates until at least k are found (or the ladder
 // is exhausted), then ranks them by signature-estimated containment.
 // Results are approximate in the same sense as Query: candidates come from
-// LSH collisions and scores from sketches.
-func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []TopKResult {
+// LSH collisions and scores from sketches. It returns ErrDirty if the index
+// has Adds not yet folded in by Reindex.
+func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) ([]TopKResult, error) {
 	if x.dirty {
-		panic("core: Query after Add without Reindex")
+		return nil, ErrDirty
 	}
 	if k <= 0 || querySize <= 0 || len(x.keys) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Stored signatures are exactly NumHash long (forest flat store); clamp
 	// the query signature so the slot-wise Jaccard estimate lines up.
@@ -73,7 +74,7 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []TopKResult 
 	if len(results) > k {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // sigOf returns the stored signature of an indexed domain.

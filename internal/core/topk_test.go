@@ -34,6 +34,16 @@ func topKFixture(t testing.TB, numHash int) (*Index, *minhash.Hasher, [][]uint64
 
 func key(i int) string { return string(rune('a' + i)) }
 
+// mustTopK is the test shorthand for QueryTopK on a clean index.
+func mustTopK(t testing.TB, x *Index, sig minhash.Signature, querySize, k int) []TopKResult {
+	t.Helper()
+	top, err := x.QueryTopK(sig, querySize, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
 func TestQueryTopKRanksBySizeOnNestedPrefixes(t *testing.T) {
 	idx, h, _ := topKFixture(t, 256)
 	// Query = domain 5's values [0, 120): it is fully contained in domains
@@ -44,7 +54,7 @@ func TestQueryTopKRanksBySizeOnNestedPrefixes(t *testing.T) {
 		q[j] = minhash.HashUint64(uint64(j))
 	}
 	sig := h.Sketch(q)
-	top := idx.QueryTopK(sig, 120, 5)
+	top := mustTopK(t, idx, sig, 120, 5)
 	if len(top) != 5 {
 		t.Fatalf("got %d results, want 5", len(top))
 	}
@@ -63,7 +73,7 @@ func TestQueryTopKSelfFirst(t *testing.T) {
 	idx, _, _ := topKFixture(t, 256)
 	// Query with domain 19 (largest): only supersets of it are itself.
 	sig := idx.sigOf(19)
-	top := idx.QueryTopK(sig, idx.Size(19), 3)
+	top := mustTopK(t, idx, sig, idx.Size(19), 3)
 	if len(top) == 0 || top[0].Key != key(19) {
 		t.Fatalf("self not ranked first: %+v", top)
 	}
@@ -75,14 +85,14 @@ func TestQueryTopKSelfFirst(t *testing.T) {
 func TestQueryTopKEdgeCases(t *testing.T) {
 	idx, h, _ := topKFixture(t, 256)
 	sig := h.Sketch([]uint64{minhash.HashUint64(7)})
-	if got := idx.QueryTopK(sig, 1, 0); got != nil {
+	if got := mustTopK(t, idx, sig, 1, 0); got != nil {
 		t.Fatal("k=0 should return nil")
 	}
-	if got := idx.QueryTopK(sig, 0, 5); got != nil {
+	if got := mustTopK(t, idx, sig, 0, 5); got != nil {
 		t.Fatal("querySize=0 should return nil")
 	}
 	// k larger than corpus: returns at most corpus size, no panic.
-	full := idx.QueryTopK(idx.sigOf(0), idx.Size(0), 1000)
+	full := mustTopK(t, idx, idx.sigOf(0), idx.Size(0), 1000)
 	if len(full) > idx.Len() {
 		t.Fatalf("returned %d > corpus %d", len(full), idx.Len())
 	}
@@ -95,8 +105,8 @@ func TestQueryTopKSurvivesSerialization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := idx.QueryTopK(idx.sigOf(3), idx.Size(3), 4)
-	b := loaded.QueryTopK(loaded.sigOf(3), loaded.Size(3), 4)
+	a := mustTopK(t, idx, idx.sigOf(3), idx.Size(3), 4)
+	b := mustTopK(t, loaded, loaded.sigOf(3), loaded.Size(3), 4)
 	if len(a) != len(b) {
 		t.Fatalf("topk differs after decode: %d vs %d", len(a), len(b))
 	}
@@ -119,7 +129,7 @@ func TestQueryTopKAfterAdd(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx.Reindex()
-	top := idx.QueryTopK(rec.Sig, n, 1)
+	top := mustTopK(t, idx, rec.Sig, n, 1)
 	if len(top) != 1 || top[0].Key != "added" {
 		t.Fatalf("added record not top-1 for itself: %+v", top)
 	}

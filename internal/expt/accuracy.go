@@ -88,6 +88,16 @@ type querier interface {
 	Query(sig minhash.Signature, querySize int, tStar float64) []string
 }
 
+// ensembleSystem adapts *core.Index to querier. The core query API returns
+// an error only for the pending-adds state, which cannot occur in these
+// build-once experiments, so it is safe to drop here.
+type ensembleSystem struct{ *core.Index }
+
+func (e ensembleSystem) Query(sig minhash.Signature, querySize int, tStar float64) []string {
+	res, _ := e.Index.Query(sig, querySize, tStar)
+	return res
+}
+
 // system is a named index under test.
 type system struct {
 	name string
@@ -114,7 +124,7 @@ func buildSystems(recs []core.Record, cfg AccuracyConfig) ([]system, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ensemble(%d): %w", n, err)
 		}
-		systems = append(systems, system{fmt.Sprintf("LSH Ensemble (%d)", n), e})
+		systems = append(systems, system{fmt.Sprintf("LSH Ensemble (%d)", n), ensembleSystem{e}})
 	}
 	return systems, nil
 }
@@ -328,7 +338,7 @@ func RunFig8(cfg Fig8Config) ([]MorphRow, error) {
 		}
 		sd := partition.CountStdDev(idx.PartitionBounds())
 		accRows := runAccuracy(corpus, recs, queries,
-			[]system{{"morph", idx}}, []float64{cfg.Threshold})
+			[]system{{"morph", ensembleSystem{idx}}}, []float64{cfg.Threshold})
 		ar := accRows[0]
 		rows = append(rows, MorphRow{
 			Lambda:    lambda,

@@ -90,7 +90,11 @@ func RunFig9(cfg PerfConfig) ([]PerfRow, error) {
 			totalResults := 0
 			qStart := time.Now()
 			for _, qi := range queries {
-				totalResults += len(idx.QueryIDs(recs[qi].Sig, recs[qi].Size, tStar))
+				ids, err := idx.QueryIDs(recs[qi].Sig, recs[qi].Size, tStar)
+				if err != nil {
+					return nil, err
+				}
+				totalResults += len(ids)
 			}
 			queryTime := time.Since(qStart)
 			rows = append(rows, PerfRow{
@@ -133,7 +137,7 @@ func (s *shardedIndex) query(sig minhash.Signature, querySize int, tStar float64
 		wg.Add(1)
 		go func(i int, sh *core.Index) {
 			defer wg.Done()
-			results[i] = sh.Query(sig, querySize, tStar)
+			results[i], _ = sh.Query(sig, querySize, tStar)
 		}(i, sh)
 	}
 	wg.Wait()

@@ -1,0 +1,333 @@
+package live
+
+import (
+	"sort"
+
+	"lshensemble/internal/core"
+)
+
+// This file is the write-behind half of the live index: sealing the
+// unsealed buffer into a frozen segment, merging small segments into larger
+// ones, and the background goroutine that drives both. All heavy work
+// (core.Build over the surviving records, using the parallel construction
+// path) happens OUTSIDE any lock the write or read paths touch; only the
+// final pointer swap takes the writer mutex, and readers never take a lock
+// at all — a query in flight keeps the snapshot it loaded.
+//
+// Sequence numbers make this sound under concurrent writes: a segment keeps
+// each entry's seq, so tombstones recorded *while* a build is running still
+// apply to the freshly built segment at query time (the tombstone's seq
+// exceeds the sealed entries' seqs). Compaction filters with the tombstones
+// visible when it starts and never loses a later delete.
+
+// compactor is the background loop. It wakes on a nudge (sent by Add when
+// the buffer crosses SealThreshold) and runs the pipeline until the shape
+// is within thresholds again.
+func (x *Index) compactor() {
+	defer close(x.done)
+	for {
+		select {
+		case <-x.stop:
+			return
+		case <-x.nudge:
+		}
+		x.compactMu.Lock()
+		for x.sealIfFull() || x.mergeIfCrowded() {
+			select {
+			case <-x.stop:
+				x.compactMu.Unlock()
+				return
+			default:
+			}
+		}
+		x.compactMu.Unlock()
+	}
+}
+
+// kick nudges the compactor without blocking (the channel holds one pending
+// nudge; more are redundant).
+func (x *Index) kick() {
+	select {
+	case x.nudge <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the background compactor and waits for it to finish the
+// operation in flight. The index remains fully usable afterwards — only
+// automatic compaction stops. Close is idempotent.
+func (x *Index) Close() {
+	x.closeOnce.Do(func() { close(x.stop) })
+	<-x.done
+}
+
+// Flush synchronously seals the current buffer into a segment (a no-op when
+// the buffer is empty). Callers that need the buffer drained — e.g. before
+// measuring pure-segment query cost — use it; normal ingest relies on the
+// background seal instead.
+func (x *Index) Flush() {
+	x.compactMu.Lock()
+	x.seal(1)
+	x.compactMu.Unlock()
+}
+
+// Compact synchronously runs full compaction: the buffer is sealed and all
+// segments merge into (at most) one, dropping every dead entry and every
+// tombstone that no longer shadows anything. The result answers queries
+// exactly like a fresh core.Build over the surviving records.
+func (x *Index) Compact() {
+	x.compactMu.Lock()
+	defer x.compactMu.Unlock()
+	x.seal(1)
+	sn := x.snap.Load()
+	if len(sn.segs) == 0 || (len(sn.segs) == 1 && len(sn.tombs) == 0) {
+		return
+	}
+	x.mergeSegments(sn.segs, true)
+}
+
+// sealIfFull seals when the buffer has crossed the threshold.
+func (x *Index) sealIfFull() bool {
+	return x.seal(x.opts.SealThreshold)
+}
+
+// seal freezes the first len(buf) buffered entries (as of the snapshot it
+// loads) into a new segment, provided at least min are buffered. Dead
+// entries are dropped during the build. It reports whether anything was
+// sealed (including a pure trim, when every buffered entry was dead).
+//
+// The caller must hold compactMu. Writers keep appending while the segment
+// builds; the publish step moves only the sealed prefix out of the buffer.
+func (x *Index) seal(min int) bool {
+	sn := x.snap.Load()
+	buf := sn.buf
+	if min < 1 {
+		min = 1
+	}
+	if len(buf) < min {
+		return false
+	}
+	recs := make([]core.Record, 0, len(buf))
+	seqs := make([]uint64, 0, len(buf))
+	for i := range buf {
+		e := &buf[i]
+		if !sn.alive(e.rec.Key, e.seq) {
+			continue
+		}
+		recs = append(recs, e.rec)
+		seqs = append(seqs, e.seq)
+	}
+	var seg *segment
+	if len(recs) > 0 {
+		idx, err := core.Build(recs, x.opts.Options)
+		if err != nil {
+			// Unreachable: every record was validated at Add time. Leaving
+			// the buffer as-is keeps the index correct (just unsealed).
+			return false
+		}
+		seg = &segment{idx: idx, seqs: seqs}
+	}
+
+	x.mu.Lock()
+	cur := x.snap.Load()
+	// Entries appended while the build ran stay buffered; relocating them to
+	// a fresh backing array lets the sealed prefix's array be collected once
+	// the old snapshots die.
+	rest := cur.buf[len(buf):]
+	back := make([]entry, len(rest), len(rest)+x.opts.SealThreshold)
+	copy(back, rest)
+	x.bufBack = back
+	bufMax := 0
+	for i := range back {
+		if s := back[i].rec.Size; s > bufMax {
+			bufMax = s
+		}
+	}
+	segs := cur.segs
+	if seg != nil {
+		segs = append(append(make([]*segment, 0, len(cur.segs)+1), cur.segs...), seg)
+	}
+	x.snap.Store(&snapshot{segs: segs, buf: back, tombs: gcTombs(cur.tombs, segs, back), bufMax: bufMax})
+	x.mu.Unlock()
+	x.seals.Add(1)
+	return true
+}
+
+// mergeIfCrowded merges the two smallest segments when more than
+// MaxSegments have accumulated. The caller must hold compactMu.
+func (x *Index) mergeIfCrowded() bool {
+	sn := x.snap.Load()
+	if len(sn.segs) <= x.opts.MaxSegments {
+		return false
+	}
+	a, b := 0, 1
+	for i, seg := range sn.segs {
+		n := seg.idx.Len()
+		if n < sn.segs[a].idx.Len() {
+			a, b = i, a
+		} else if i != a && n < sn.segs[b].idx.Len() {
+			b = i
+		}
+	}
+	x.mergeSegments([]*segment{sn.segs[a], sn.segs[b]}, false)
+	return true
+}
+
+// mergeSegments rebuilds the given segments (identified by pointer in the
+// current snapshot) into at most one new segment holding their surviving
+// entries, and publishes the swap. exactGC selects the per-key tombstone
+// sweep (full compaction) over the cheap global-minimum one (incremental
+// merges). The caller must hold compactMu.
+func (x *Index) mergeSegments(victims []*segment, exactGC bool) {
+	sn := x.snap.Load()
+	// Gather survivors in ascending seq order: collect per segment (each is
+	// already ascending), then merge-sort the runs.
+	type run struct {
+		recs []core.Record
+		seqs []uint64
+	}
+	runs := make([]run, 0, len(victims))
+	total := 0
+	for _, seg := range victims {
+		var r run
+		for id := 0; id < seg.idx.Len(); id++ {
+			key := seg.idx.Key(uint32(id))
+			if !sn.alive(key, seg.seqs[id]) {
+				continue
+			}
+			r.recs = append(r.recs, core.Record{
+				Key:  key,
+				Size: seg.idx.Size(uint32(id)),
+				Sig:  seg.idx.Signature(uint32(id)),
+			})
+			r.seqs = append(r.seqs, seg.seqs[id])
+		}
+		runs = append(runs, r)
+		total += len(r.recs)
+	}
+	recs := make([]core.Record, 0, total)
+	seqs := make([]uint64, 0, total)
+	cursors := make([]int, len(runs))
+	for len(recs) < total {
+		best := -1
+		for i := range runs {
+			if cursors[i] >= len(runs[i].seqs) {
+				continue
+			}
+			if best < 0 || runs[i].seqs[cursors[i]] < runs[best].seqs[cursors[best]] {
+				best = i
+			}
+		}
+		recs = append(recs, runs[best].recs[cursors[best]])
+		seqs = append(seqs, runs[best].seqs[cursors[best]])
+		cursors[best]++
+	}
+
+	var merged *segment
+	if len(recs) > 0 {
+		idx, err := core.Build(recs, x.opts.Options)
+		if err != nil {
+			return // unreachable: inputs came from validated segments
+		}
+		merged = &segment{idx: idx, seqs: seqs}
+	}
+
+	x.mu.Lock()
+	cur := x.snap.Load()
+	victimSet := make(map[*segment]bool, len(victims))
+	for _, v := range victims {
+		victimSet[v] = true
+	}
+	segs := make([]*segment, 0, len(cur.segs))
+	for _, seg := range cur.segs {
+		if !victimSet[seg] {
+			segs = append(segs, seg)
+		}
+	}
+	if merged != nil {
+		segs = append(segs, merged)
+		sort.Slice(segs, func(i, j int) bool { return segs[i].minSeq() < segs[j].minSeq() })
+	}
+	tombs := cur.tombs
+	if exactGC {
+		tombs = exactGCTombs(tombs, segs, cur.buf)
+	} else {
+		tombs = gcTombs(tombs, segs, cur.buf)
+	}
+	x.snap.Store(&snapshot{segs: segs, buf: cur.buf, tombs: tombs, bufMax: cur.bufMax})
+	x.mu.Unlock()
+	x.merges.Add(1)
+}
+
+// gcTombs drops the tombstones that can no longer shadow anything: a
+// tombstone with sequence number s kills only entries with seq < s, so once
+// every remaining entry's seq is >= s it is inert. This is the cheap
+// O(tombstones) global-minimum bound used on every incremental publish;
+// full Compact pays for the per-key sweep (exactGCTombs) instead, which is
+// what lets it reach the empty-tombstone state.
+func gcTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[string]uint64 {
+	if len(tombs) == 0 {
+		return tombs
+	}
+	var minSeq uint64
+	found := false
+	for _, seg := range segs {
+		if s := seg.minSeq(); !found || s < minSeq {
+			minSeq, found = s, true
+		}
+	}
+	if len(buf) > 0 {
+		if s := buf[0].seq; !found || s < minSeq {
+			minSeq, found = s, true
+		}
+	}
+	if !found {
+		return nil // no entries anywhere: nothing to shadow
+	}
+	drop := 0
+	for _, s := range tombs {
+		if s <= minSeq {
+			drop++
+		}
+	}
+	if drop == 0 {
+		return tombs
+	}
+	next := make(map[string]uint64, len(tombs)-drop)
+	for k, s := range tombs {
+		if s > minSeq {
+			next[k] = s
+		}
+	}
+	return next
+}
+
+// exactGCTombs keeps only the tombstones that still shadow a physically
+// present entry: (key, s) survives iff some remaining entry of that key has
+// seq < s. It scans every entry, so it runs only on full compaction, where
+// the merged segment is freshly purged and the sweep usually empties the
+// map entirely (writes racing the compaction are the exception and stay
+// correctly shadowed).
+func exactGCTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[string]uint64 {
+	if len(tombs) == 0 {
+		return tombs
+	}
+	var next map[string]uint64
+	keep := func(key string, seq uint64) {
+		if s, ok := tombs[key]; ok && seq < s {
+			if next == nil {
+				next = make(map[string]uint64)
+			}
+			next[key] = s
+		}
+	}
+	for _, seg := range segs {
+		for id := 0; id < seg.idx.Len(); id++ {
+			keep(seg.idx.Key(uint32(id)), seg.seqs[id])
+		}
+	}
+	for i := range buf {
+		keep(buf[i].rec.Key, buf[i].seq)
+	}
+	return next
+}

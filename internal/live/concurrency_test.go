@@ -1,0 +1,246 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lshensemble/internal/core"
+)
+
+// TestConcurrentHammer races queriers, adders, a deleter and the background
+// compactor (aggressive thresholds force continuous sealing and merging)
+// against one live index. Run with -race. Readers assert only snapshot
+// invariants — each key at most once per result, no impossible keys — since
+// the exact candidate set legitimately shifts while writers run. After the
+// writers stop, the final state is compacted and checked against a model of
+// the surviving records.
+func TestConcurrentHammer(t *testing.T) {
+	recs := fixture(t, 1200, 21)
+	opts := liveOpts()
+	opts.ManualCompaction = false
+	opts.SealThreshold = 24
+	opts.MaxSegments = 3
+	x, err := Build(recs[:300], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	// model tracks what the writers did; guarded by modelMu (test-side only,
+	// the index itself is exercised without external locks).
+	var modelMu sync.Mutex
+	model := make(map[string]bool, len(recs))
+	for _, r := range recs[:300] {
+		model[r.Key] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Two adders split the remaining records.
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 300 + a; i < len(recs); i += 2 {
+				if _, err := x.Add(recs[i]); err != nil {
+					errs <- err
+					return
+				}
+				modelMu.Lock()
+				model[recs[i].Key] = true
+				modelMu.Unlock()
+			}
+		}(a)
+	}
+
+	// One deleter sweeps the initially indexed keys.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i += 3 {
+			if x.Delete(recs[i].Key) {
+				modelMu.Lock()
+				delete(model, recs[i].Key)
+				modelMu.Unlock()
+			}
+		}
+	}()
+
+	// Queriers: single and batch paths, checking per-result invariants.
+	known := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		known[r.Key] = true
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seen := make(map[string]bool, 64)
+			for rep := 0; rep < 150; rep++ {
+				r := recs[(w*131+rep*17)%len(recs)]
+				var results [][]string
+				if rep%4 == 0 {
+					results = x.QueryBatch([]core.BatchQuery{
+						{Sig: r.Sig, Size: r.Size, Threshold: 0.5},
+						{Sig: r.Sig, Size: r.Size, Threshold: 1.0},
+					}, 2)
+				} else {
+					results = [][]string{x.Query(r.Sig, r.Size, 0.5)}
+				}
+				for _, res := range results {
+					clear(seen)
+					for _, k := range res {
+						if !known[k] {
+							errs <- fmt.Errorf("worker %d rep %d: impossible key %q", w, rep, k)
+							return
+						}
+						if seen[k] {
+							errs <- fmt.Errorf("worker %d rep %d: duplicate key %q", w, rep, k)
+							return
+						}
+						seen[k] = true
+					}
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesce and verify the final state against the model: compaction must
+	// leave exactly the surviving records, all self-retrievable.
+	x.Compact()
+	if x.Len() != len(model) {
+		t.Fatalf("final Len %d, model %d", x.Len(), len(model))
+	}
+	st := x.Stats()
+	if st.Seals == 0 {
+		t.Fatal("background compactor never sealed during the hammer")
+	}
+	if st.Tombstones != 0 || st.Buffered != 0 {
+		t.Fatalf("Compact left residue: %+v", st)
+	}
+	for i, r := range recs {
+		if i%5 != 0 {
+			continue
+		}
+		got := contains(x.Query(r.Sig, r.Size, 1.0), r.Key)
+		if want := model[r.Key]; got != want {
+			t.Fatalf("final state: key %q present=%v, model says %v", r.Key, got, want)
+		}
+	}
+}
+
+// TestQuerySnapshotStability pins the point-in-time guarantee: a reader
+// that loaded a snapshot keeps getting answers from it even while the
+// writer replaces the whole corpus and the compactor churns underneath.
+func TestQuerySnapshotStability(t *testing.T) {
+	recs := fixture(t, 200, 22)
+	opts := liveOpts()
+	opts.SealThreshold = 16
+	opts.ManualCompaction = false
+	x, err := Build(recs[:100], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	sn := x.snap.Load() // the reader's frozen view
+	for _, r := range recs[100:] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		x.Delete(recs[i].Key)
+	}
+	x.Compact()
+
+	// The frozen snapshot still answers exactly as before: all 100 original
+	// records, none of the later ones.
+	s := x.acquireScratch()
+	for i := 0; i < 200; i += 9 {
+		r := recs[i]
+		var res []string
+		for _, seg := range sn.segs {
+			res = x.appendSegmentMatches(res, s, sn, seg, r.Sig, r.Size, 1.0)
+		}
+		res = x.appendBufferMatches(res, sn, r.Sig, r.Size, 1.0)
+		if want := i < 100; contains(res, r.Key) != want {
+			t.Fatalf("snapshot drifted: key %d present=%v, want %v", i, !want, want)
+		}
+	}
+	x.releaseScratch(s)
+
+	// The current snapshot shows the new world.
+	if x.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", x.Len())
+	}
+	if contains(x.Query(recs[0].Sig, recs[0].Size, 1.0), recs[0].Key) {
+		t.Fatal("deleted key visible in the current snapshot")
+	}
+}
+
+// TestSteadyStateQueryAllocs proves the live fan-out keeps the PR 1/PR 2
+// allocation discipline: steady-state QueryAppend with a reused destination
+// against a multi-segment snapshot (with buffered entries and tombstones in
+// play) allocates nothing.
+func TestSteadyStateQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates and randomizes sync.Pool reuse")
+	}
+	recs := fixture(t, 600, 23)
+	x, err := Build(recs[:200], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	// Three sealed segments + a live buffer + tombstones.
+	for _, r := range recs[200:400] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Flush()
+	for _, r := range recs[400:500] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Flush()
+	for _, r := range recs[500:550] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 550; i += 23 {
+		x.Delete(recs[i].Key)
+	}
+	st := x.Stats()
+	if len(st.Segments) < 3 || st.Buffered == 0 || st.Tombstones == 0 {
+		t.Fatalf("fixture shape wrong: %+v", st)
+	}
+
+	var dst []string
+	warm := func() {
+		for i := 0; i < len(recs); i += 29 {
+			r := recs[i]
+			dst = x.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+		}
+	}
+	warm() // fill the scratch pool and the tuning cache
+	warm()
+	allocs := testing.AllocsPerRun(50, func() {
+		r := recs[37]
+		dst = x.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state QueryAppend allocates %.1f per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,520 @@
+// Package live implements a mutable, always-queryable LSH Ensemble layered
+// on the immutable core.Index — the serving-system counterpart of the
+// paper's build-once index (Section 6.2 sketches the dynamic-data story;
+// this package gives it a production shape).
+//
+// # Model
+//
+// A live Index is an atomically-swapped *snapshot* of three immutable
+// parts:
+//
+//   - sealed segments: each a frozen core.Index over a slice of the corpus,
+//     plus the mutation sequence number of every entry;
+//   - an unsealed buffer: recent Adds, not yet worth an LSH build, scanned
+//     linearly as one extra partition (upper bound = largest buffered size)
+//     with the same (b, r) banding test the forest would apply;
+//   - a tombstone map: key → sequence number of the Delete (or replacing
+//     Add) that cleared it. An entry is live iff no tombstone with a higher
+//     sequence number names its key.
+//
+// Readers load the snapshot pointer once and touch only immutable data, so
+// a query never takes a lock a writer holds: Add, Delete and the compactor
+// publish by building a NEW snapshot and swapping the pointer. Readers in
+// flight keep the old snapshot — every query sees a consistent
+// point-in-time view of the corpus.
+//
+// Writers (Add/Delete) serialize on a mutex, append to a buffer backing
+// array whose published prefix is never rewritten, and copy the tombstone
+// map on write (it holds only the deletes not yet compacted away, so the
+// copies stay small).
+//
+// A background compactor seals the buffer into a new segment once it
+// crosses Options.SealThreshold, and merges the two smallest segments
+// whenever more than Options.MaxSegments have accumulated — dead entries
+// are dropped during both. Each result is published with a single pointer
+// swap. Compact runs the whole pipeline to one segment and is
+// equivalence-preserving: the result answers queries exactly like a fresh
+// core.Build over the surviving records (asserted by the package tests).
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/tune"
+)
+
+// Options configures a live index. The embedded core.Options (zero values =
+// the paper's defaults) shape every sealed segment's build.
+type Options struct {
+	core.Options
+
+	// SealThreshold is the buffer length that triggers a background seal.
+	// Default 4096. Until sealed, buffered entries are answered by a linear
+	// banding scan, so the threshold bounds the scan cost per query.
+	SealThreshold int
+
+	// MaxSegments is the sealed-segment count above which the compactor
+	// merges the two smallest segments. Default 8.
+	MaxSegments int
+
+	// ManualCompaction disables the background compactor; sealing and
+	// merging then happen only through explicit Flush/Compact calls.
+	// Tests and single-shot tools use this to control timing.
+	ManualCompaction bool
+}
+
+func (o Options) withDefaults() Options {
+	o.Options = o.Options.WithDefaults()
+	if o.SealThreshold == 0 {
+		o.SealThreshold = 4096
+	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 8
+	}
+	return o
+}
+
+// newTuner builds the (b, r) optimizer every buffer scan shares; its grid
+// matches the one the sealed segments' forests use.
+func newTuner(opts Options) *tune.Optimizer {
+	return tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax)
+}
+
+// entry is one buffered Add: the record and its mutation sequence number.
+type entry struct {
+	rec core.Record
+	seq uint64
+}
+
+// segment is one sealed, immutable slice of the corpus: a frozen core.Index
+// plus the per-entry sequence numbers (aligned with the core ids, which
+// core.Build assigns in record order). Entries are in ascending seq order.
+type segment struct {
+	idx  *core.Index
+	seqs []uint64
+}
+
+func (s *segment) minSeq() uint64 { return s.seqs[0] }
+
+// snapshot is one published, immutable state of the index. Everything
+// reachable from a snapshot is frozen: writers and the compactor publish
+// changes as new snapshots.
+type snapshot struct {
+	segs  []*segment        // ordered by minSeq
+	buf   []entry           // unsealed adds, ascending seq; prefix of the writer's backing array
+	tombs map[string]uint64 // key → seq of the clearing Delete/replacing Add
+
+	// bufMax is the largest size among buffered entries — the buffer's
+	// partition upper bound for threshold conversion. It may exceed the
+	// largest *live* buffered size when the max entry is tombstoned; a too
+	// large bound is merely conservative (Eq. 7 never loses candidates).
+	bufMax int
+}
+
+// alive reports whether an entry of the given key and sequence number is
+// still current under this snapshot's tombstones.
+func (sn *snapshot) alive(key string, seq uint64) bool {
+	return sn.tombs[key] <= seq
+}
+
+// Index is a mutable, always-queryable LSH Ensemble. Queries are lock-free
+// against writers and the compactor; Add/Delete are safe for concurrent use
+// with each other and with queries. See the package comment for the model.
+type Index struct {
+	opts  Options
+	tuner *tune.Optimizer // shared with buffer scans; safe for concurrent use
+
+	snap atomic.Pointer[snapshot]
+
+	// mu serializes writers: Add, Delete, and every snapshot publish.
+	// Readers never take it.
+	mu      sync.Mutex
+	seq     uint64            // last assigned mutation sequence number
+	keySeq  map[string]uint64 // live key → seq of its current entry
+	bufBack []entry           // buffer backing; published snapshots view prefixes of it
+
+	// compactMu serializes compaction work (the background goroutine, Flush,
+	// Compact): at most one segment build is in flight at a time.
+	compactMu sync.Mutex
+
+	domains atomic.Int64  // live domain count (= len(keySeq), readable lock-free)
+	seals   atomic.Uint64 // completed seal operations
+	merges  atomic.Uint64 // completed merge operations
+
+	scratch sync.Pool // *queryScratch
+
+	nudge     chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// queryScratch is the pooled per-query working memory of the live fan-out:
+// a reusable id buffer for the per-segment candidate lists.
+type queryScratch struct {
+	ids []uint32
+}
+
+// New constructs an empty live index and, unless opts.ManualCompaction is
+// set, starts its background compactor. Close releases the compactor.
+func New(opts Options) (*Index, error) {
+	return Build(nil, opts)
+}
+
+// Build constructs a live index whose initial corpus is the given records,
+// sealed into a single segment (records sharing a key collapse to the last
+// occurrence, matching Add-upsert semantics). Unless opts.ManualCompaction
+// is set the background compactor is started; Close releases it.
+func Build(records []core.Record, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.Options.Validate(); err != nil {
+		return nil, err
+	}
+	x := &Index{
+		opts:   opts,
+		tuner:  newTuner(opts),
+		keySeq: make(map[string]uint64, len(records)),
+		nudge:  make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	sn := &snapshot{}
+	if len(records) > 0 {
+		for _, r := range records {
+			if err := x.validateRecord(r); err != nil {
+				return nil, err
+			}
+		}
+		// Upsert semantics: the last record of each key wins, earlier ones
+		// are dropped before the build (no tombstone needed — they never
+		// become visible).
+		last := make(map[string]int, len(records))
+		for i, r := range records {
+			last[r.Key] = i
+		}
+		recs := make([]core.Record, 0, len(last))
+		seqs := make([]uint64, 0, len(last))
+		for i, r := range records {
+			if last[r.Key] != i {
+				continue
+			}
+			seq := uint64(i + 1)
+			recs = append(recs, r)
+			seqs = append(seqs, seq)
+			x.keySeq[r.Key] = seq
+		}
+		idx, err := core.Build(recs, opts.Options)
+		if err != nil {
+			return nil, err
+		}
+		sn.segs = []*segment{{idx: idx, seqs: seqs}}
+		x.seq = uint64(len(records))
+		x.domains.Store(int64(len(recs)))
+	}
+	x.snap.Store(sn)
+	if !opts.ManualCompaction {
+		go x.compactor()
+	} else {
+		close(x.done)
+	}
+	return x, nil
+}
+
+func (x *Index) validateRecord(r core.Record) error {
+	if r.Size <= 0 {
+		return fmt.Errorf("live: record %q has non-positive size %d", r.Key, r.Size)
+	}
+	if len(r.Sig) < x.opts.NumHash {
+		return fmt.Errorf("live: record %q signature length %d < NumHash %d",
+			r.Key, len(r.Sig), x.opts.NumHash)
+	}
+	return nil
+}
+
+// Options returns the effective options.
+func (x *Index) Options() Options { return x.opts }
+
+// Len returns the number of live domains (tombstoned entries excluded).
+func (x *Index) Len() int { return int(x.domains.Load()) }
+
+// Add inserts or replaces a domain. A record whose key is already indexed
+// supersedes the old entry (upsert): readers see either the old or the new
+// version, never both. The signature is copied, so the caller keeps
+// ownership of r.Sig. Add never blocks queries; concurrent Adds serialize
+// on an internal mutex. It reports whether an existing entry was replaced.
+func (x *Index) Add(r core.Record) (replaced bool, err error) {
+	if err := x.validateRecord(r); err != nil {
+		return false, err
+	}
+	// Decouple from the caller's backing array (and clamp to NumHash, the
+	// prefix every probe uses): buffered signatures are read lock-free by
+	// queries, so later caller mutation must not be observable.
+	r.Sig = append(minhash.Signature(nil), r.Sig[:x.opts.NumHash]...)
+
+	x.mu.Lock()
+	x.seq++
+	seq := x.seq
+	cur := x.snap.Load()
+	tombs := cur.tombs
+	_, replaced = x.keySeq[r.Key]
+	if replaced {
+		// The replacing Add tombstones every older entry of the key (their
+		// seqs are < seq) while leaving the new entry (seq == seq) alive.
+		tombs = cloneTombs(tombs, r.Key, seq)
+	} else {
+		x.domains.Add(1)
+	}
+	x.keySeq[r.Key] = seq
+	// The published prefix of bufBack is immutable: this append writes only
+	// at the index just past every published snapshot's view (or relocates
+	// to a fresh array), and the longer prefix becomes visible only through
+	// the snapshot swap below.
+	x.bufBack = append(x.bufBack, entry{rec: r, seq: seq})
+	bufMax := cur.bufMax
+	if r.Size > bufMax {
+		bufMax = r.Size
+	}
+	next := &snapshot{segs: cur.segs, buf: x.bufBack, tombs: tombs, bufMax: bufMax}
+	x.snap.Store(next)
+	full := len(next.buf) >= x.opts.SealThreshold
+	x.mu.Unlock()
+
+	if full {
+		x.kick()
+	}
+	return replaced, nil
+}
+
+// Delete removes a domain by key. It reports whether the key was indexed.
+// The entry is tombstoned immediately (readers loading later snapshots no
+// longer see it) and physically dropped by the next compaction that touches
+// its segment.
+func (x *Index) Delete(key string) bool {
+	x.mu.Lock()
+	if _, ok := x.keySeq[key]; !ok {
+		x.mu.Unlock()
+		return false
+	}
+	x.seq++
+	seq := x.seq
+	delete(x.keySeq, key)
+	x.domains.Add(-1)
+	cur := x.snap.Load()
+	next := &snapshot{segs: cur.segs, buf: cur.buf, tombs: cloneTombs(cur.tombs, key, seq), bufMax: cur.bufMax}
+	x.snap.Store(next)
+	x.mu.Unlock()
+	return true
+}
+
+// cloneTombs returns a copy of tombs with key → seq added. The published
+// map is never mutated in place — readers hold it lock-free.
+func cloneTombs(tombs map[string]uint64, key string, seq uint64) map[string]uint64 {
+	next := make(map[string]uint64, len(tombs)+1)
+	for k, v := range tombs {
+		next[k] = v
+	}
+	next[key] = seq
+	return next
+}
+
+func (x *Index) acquireScratch() *queryScratch {
+	s, _ := x.scratch.Get().(*queryScratch)
+	if s == nil {
+		s = &queryScratch{}
+	}
+	return s
+}
+
+func (x *Index) releaseScratch(s *queryScratch) { x.scratch.Put(s) }
+
+// Query returns the keys of all candidate domains for the query signature
+// at containment threshold tStar (see core.Index.QueryIDs for parameter
+// semantics). It is lock-free against Add, Delete and the compactor, and
+// answers from a consistent point-in-time snapshot. Each live key appears
+// at most once.
+func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []string {
+	return x.QueryAppend(nil, sig, querySize, tStar)
+}
+
+// QueryAppend is Query appending into dst (which may be nil). A serving
+// loop reusing dst runs allocation-free in steady state, matching the
+// immutable index's QueryIDsAppend path.
+func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, tStar float64) []string {
+	if querySize <= 0 {
+		return dst
+	}
+	sn := x.snap.Load()
+	s := x.acquireScratch()
+	for _, seg := range sn.segs {
+		dst = x.appendSegmentMatches(dst, s, sn, seg, sig, querySize, tStar)
+	}
+	x.releaseScratch(s)
+	return x.appendBufferMatches(dst, sn, sig, querySize, tStar)
+}
+
+// appendSegmentMatches probes one sealed segment and appends the keys of
+// its live candidates.
+func (x *Index) appendSegmentMatches(dst []string, s *queryScratch, sn *snapshot, seg *segment,
+	sig minhash.Signature, querySize int, tStar float64) []string {
+	// A sealed segment can never be dirty, so the error is impossible; the
+	// empty result on that unreachable path is still safe.
+	s.ids, _ = seg.idx.QueryIDsAppend(s.ids[:0], sig, querySize, tStar)
+	if len(sn.tombs) == 0 {
+		for _, id := range s.ids {
+			dst = append(dst, seg.idx.Key(id))
+		}
+		return dst
+	}
+	for _, id := range s.ids {
+		if key := seg.idx.Key(id); sn.alive(key, seg.seqs[id]) {
+			dst = append(dst, key)
+		}
+	}
+	return dst
+}
+
+// appendBufferMatches linearly scans the unsealed buffer, treating it as
+// one more partition whose upper size bound is the largest buffered size:
+// the containment threshold converts to a Jaccard threshold exactly as a
+// sealed partition would convert it (Eq. 7, conservative), the tuner picks
+// one (b, r) for the whole scan, and an entry matches if any of the b bands
+// of r hash values collide — the LSH forest's collision condition, without
+// the forest.
+func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) []string {
+	if len(sn.buf) == 0 {
+		return dst
+	}
+	if tStar < 0 {
+		tStar = 0
+	} else if tStar > 1 {
+		tStar = 1
+	}
+	q := float64(querySize)
+	u := float64(sn.bufMax)
+	// Mirrors the partition skip in core: containment ≤ x/q ≤ u/q.
+	if tStar > 0 && u/q < tStar {
+		return dst
+	}
+	params := x.tuner.Optimize(u, q, tStar)
+	rMax := x.opts.RMax
+	for i := range sn.buf {
+		e := &sn.buf[i]
+		if !sn.alive(e.rec.Key, e.seq) {
+			continue
+		}
+		if bandsCollide(sig, e.rec.Sig, params.B, params.R, rMax) {
+			dst = append(dst, e.rec.Key)
+		}
+	}
+	return dst
+}
+
+// bandsCollide reports whether any of the first b bands (each rMax wide,
+// compared at depth r) of the two signatures agree — the LSH forest's
+// collision condition for one entry.
+func bandsCollide(a, b minhash.Signature, bands, r, rMax int) bool {
+	for t := 0; t < bands; t++ {
+		off := t * rMax
+		match := true
+		for k := off; k < off+r; k++ {
+			if a[k] != b[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryBatch answers every query of the batch (the daemon's high-throughput
+// path), fanning each sealed segment's probes across up to `workers`
+// goroutines through the core batch engine, then scanning the buffer. Rows
+// are in query order; each row holds the keys of the query's live
+// candidates. Like Query it is lock-free against writers and the compactor.
+func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
+	rows := make([][]string, len(queries))
+	if len(queries) == 0 {
+		return rows
+	}
+	sn := x.snap.Load()
+	var res core.BatchResults
+	for _, seg := range sn.segs {
+		if err := seg.idx.QueryBatchInto(&res, queries, workers); err != nil {
+			continue // unreachable: sealed segments are never dirty
+		}
+		for i := range queries {
+			for _, id := range res.Row(i) {
+				key := seg.idx.Key(id)
+				if len(sn.tombs) == 0 || sn.alive(key, seg.seqs[id]) {
+					rows[i] = append(rows[i], key)
+				}
+			}
+		}
+	}
+	if len(sn.buf) > 0 {
+		for i := range queries {
+			q := &queries[i]
+			if q.Size <= 0 {
+				continue // invalid size → empty row, matching the core batch contract
+			}
+			rows[i] = x.appendBufferMatches(rows[i], sn, q.Sig, q.Size, q.Threshold)
+		}
+	}
+	return rows
+}
+
+// Stats is a point-in-time summary of the index's shape.
+type Stats struct {
+	// Domains is the number of live domains (tombstoned entries excluded).
+	Domains int `json:"domains"`
+	// Segments holds the entry count of every sealed segment (including
+	// entries already tombstoned but not yet compacted away).
+	Segments []int `json:"segments"`
+	// Buffered is the unsealed buffer length (including tombstoned entries).
+	Buffered int `json:"buffered"`
+	// Tombstones is the number of pending tombstones (deletes and
+	// replacements not yet compacted away).
+	Tombstones int `json:"tombstones"`
+	// Seq is the highest mutation sequence number visible to readers.
+	Seq uint64 `json:"seq"`
+	// Seals and Merges count completed compactor operations.
+	Seals  uint64 `json:"seals"`
+	Merges uint64 `json:"merges"`
+}
+
+// Stats returns a consistent snapshot summary without blocking writers.
+func (x *Index) Stats() Stats {
+	sn := x.snap.Load()
+	st := Stats{
+		Domains:    x.Len(),
+		Segments:   make([]int, len(sn.segs)),
+		Buffered:   len(sn.buf),
+		Tombstones: len(sn.tombs),
+		Seals:      x.seals.Load(),
+		Merges:     x.merges.Load(),
+	}
+	for i, seg := range sn.segs {
+		st.Segments[i] = seg.idx.Len()
+	}
+	for _, seg := range sn.segs {
+		if n := len(seg.seqs); n > 0 && seg.seqs[n-1] > st.Seq {
+			st.Seq = seg.seqs[n-1]
+		}
+	}
+	if n := len(sn.buf); n > 0 && sn.buf[n-1].seq > st.Seq {
+		st.Seq = sn.buf[n-1].seq
+	}
+	for _, s := range sn.tombs {
+		if s > st.Seq {
+			st.Seq = s
+		}
+	}
+	return st
+}

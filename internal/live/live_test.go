@@ -1,0 +1,635 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/datagen"
+	"lshensemble/internal/minhash"
+)
+
+// liveOpts is the small-scale configuration the tests use: tiny seal
+// threshold so a handful of adds exercise sealing, manual compaction so
+// tests control timing exactly.
+func liveOpts() Options {
+	return Options{
+		Options:          core.Options{NumHash: 128, RMax: 4, NumPartitions: 4},
+		SealThreshold:    32,
+		MaxSegments:      3,
+		ManualCompaction: true,
+	}
+}
+
+// fixture builds n records with unique keys over the open-data generator.
+func fixture(t testing.TB, n int, seed uint64) []core.Record {
+	t.Helper()
+	corpus := datagen.OpenData(datagen.OpenDataConfig{NumDomains: n, Seed: seed})
+	h := minhash.NewHasher(128, seed)
+	return datagen.Records(corpus, h)
+}
+
+func sortedKeys(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+func equalKeySets(a, b []string) bool {
+	a, b = sortedKeys(a), sortedKeys(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildAndSelfRetrieval(t *testing.T) {
+	recs := fixture(t, 200, 1)
+	x, err := Build(recs, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if x.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", x.Len())
+	}
+	for _, r := range recs[:50] {
+		res := x.Query(r.Sig, r.Size, 1.0)
+		if !contains(res, r.Key) {
+			t.Fatalf("%s not self-retrieved", r.Key)
+		}
+	}
+}
+
+func contains(keys []string, k string) bool {
+	for _, key := range keys {
+		if key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBufferedAddsAreQueryable(t *testing.T) {
+	recs := fixture(t, 120, 2)
+	x, err := Build(recs[:60], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs[60:] {
+		if replaced, err := x.Add(r); err != nil || replaced {
+			t.Fatalf("Add(%s): replaced=%v err=%v", r.Key, replaced, err)
+		}
+	}
+	if x.Len() != 120 {
+		t.Fatalf("Len = %d, want 120", x.Len())
+	}
+	// No Flush: the new records live in the buffer and must still be found
+	// by the banding scan.
+	for _, r := range recs[60:] {
+		if !contains(x.Query(r.Sig, r.Size, 1.0), r.Key) {
+			t.Fatalf("buffered %s not retrieved", r.Key)
+		}
+	}
+	// Sealing must keep them retrievable.
+	x.Flush()
+	if st := x.Stats(); st.Buffered != 0 || len(st.Segments) != 2 {
+		t.Fatalf("after Flush: %+v", st)
+	}
+	for _, r := range recs[60:] {
+		if !contains(x.Query(r.Sig, r.Size, 1.0), r.Key) {
+			t.Fatalf("sealed %s not retrieved", r.Key)
+		}
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	recs := fixture(t, 80, 3)
+	x, err := Build(recs, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	// Replace record 0 with record 1's contents under record 0's key: a
+	// query for record 1's values must now return key 0 exactly once, and a
+	// query for record 0's old values must not (unless they genuinely
+	// collide with the new signature).
+	old, repl := recs[0], recs[1]
+	if replaced, err := x.Add(core.Record{Key: old.Key, Size: repl.Size, Sig: repl.Sig}); err != nil || !replaced {
+		t.Fatalf("upsert: replaced=%v err=%v", replaced, err)
+	}
+	if x.Len() != 80 {
+		t.Fatalf("Len changed on upsert: %d", x.Len())
+	}
+	res := x.Query(repl.Sig, repl.Size, 1.0)
+	n := 0
+	for _, k := range res {
+		if k == old.Key {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("replaced key appears %d times, want exactly once: %v", n, res)
+	}
+	// Upserting the same key again while the old version sits in a sealed
+	// segment and the new one in the buffer must still yield one entry.
+	if _, err := x.Add(core.Record{Key: old.Key, Size: repl.Size, Sig: repl.Sig}); err != nil {
+		t.Fatal(err)
+	}
+	x.Flush()
+	res = x.Query(repl.Sig, repl.Size, 1.0)
+	n = 0
+	for _, k := range res {
+		if k == old.Key {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("after reflush, replaced key appears %d times: %v", n, res)
+	}
+}
+
+func TestDeleteHidesImmediately(t *testing.T) {
+	recs := fixture(t, 100, 4)
+	x, err := Build(recs[:80], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs[80:] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete one sealed entry and one buffered entry.
+	sealed, buffered := recs[10], recs[90]
+	for _, r := range []core.Record{sealed, buffered} {
+		if !x.Delete(r.Key) {
+			t.Fatalf("Delete(%s) = false", r.Key)
+		}
+		if contains(x.Query(r.Sig, r.Size, 1.0), r.Key) {
+			t.Fatalf("deleted %s still retrieved", r.Key)
+		}
+	}
+	if x.Delete(sealed.Key) {
+		t.Fatal("double delete reported true")
+	}
+	if x.Delete("no-such-key") {
+		t.Fatal("deleting unknown key reported true")
+	}
+	if x.Len() != 98 {
+		t.Fatalf("Len = %d, want 98", x.Len())
+	}
+	// A deleted key can be re-added and becomes visible again.
+	if replaced, err := x.Add(sealed); err != nil || replaced {
+		t.Fatalf("re-add: replaced=%v err=%v", replaced, err)
+	}
+	if !contains(x.Query(sealed.Sig, sealed.Size, 1.0), sealed.Key) {
+		t.Fatalf("re-added %s not retrieved", sealed.Key)
+	}
+}
+
+// TestCompactedEquivalentToFreshBuild is the core correctness claim:
+// after full compaction, the live index is *bit-equivalent* to a fresh
+// core.Build over the surviving records (live set minus tombstones, in
+// mutation order) — same serialized bytes, hence identical answers to every
+// query.
+func TestCompactedEquivalentToFreshBuild(t *testing.T) {
+	recs := fixture(t, 300, 5)
+	x, err := Build(recs[:150], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	// A churny history: adds in waves with interleaved deletes, replacements
+	// and seals, ending with several segments plus a non-empty buffer.
+	survivors := make(map[string]core.Record, len(recs))
+	order := []string{}
+	note := func(r core.Record) {
+		if _, ok := survivors[r.Key]; !ok {
+			order = append(order, r.Key)
+		} else {
+			// replaced: moves to the end of mutation order
+			for i, k := range order {
+				if k == r.Key {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append(order, r.Key)
+		}
+		survivors[r.Key] = r
+	}
+	drop := func(key string) {
+		delete(survivors, key)
+		for i, k := range order {
+			if k == key {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, r := range recs[:150] {
+		note(r)
+	}
+	for wave := 0; wave < 3; wave++ {
+		for i := 150 + wave*50; i < 200+wave*50; i++ {
+			if _, err := x.Add(recs[i]); err != nil {
+				t.Fatal(err)
+			}
+			note(recs[i])
+		}
+		for i := wave * 40; i < wave*40+20; i++ {
+			key := recs[i].Key
+			if x.Delete(key) {
+				drop(key)
+			}
+		}
+		// Replace a few entries with fresh signatures.
+		for i := 100 + wave; i < 110+wave; i += 3 {
+			r := recs[i]
+			if _, ok := survivors[r.Key]; !ok {
+				continue
+			}
+			r2 := core.Record{Key: r.Key, Size: recs[i+1].Size, Sig: recs[i+1].Sig}
+			if _, err := x.Add(r2); err != nil {
+				t.Fatal(err)
+			}
+			note(r2)
+		}
+		if wave < 2 {
+			x.Flush()
+		}
+	}
+	if len(survivors) != x.Len() {
+		t.Fatalf("model has %d live domains, index %d", len(survivors), x.Len())
+	}
+
+	x.Compact()
+	st := x.Stats()
+	if len(st.Segments) != 1 || st.Buffered != 0 || st.Tombstones != 0 {
+		t.Fatalf("after Compact: %+v", st)
+	}
+
+	want := make([]core.Record, 0, len(order))
+	for _, k := range order {
+		r := survivors[k]
+		// Match Add's signature clamp so the reference build sees identical
+		// inputs.
+		r.Sig = r.Sig[:x.opts.NumHash]
+		want = append(want, r)
+	}
+	ref, err := core.Build(want, x.opts.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := x.snap.Load()
+	got := sn.segs[0].idx.AppendBinary(nil)
+	if !bytes.Equal(got, ref.AppendBinary(nil)) {
+		t.Fatal("compacted segment is not bit-identical to a fresh core.Build over the survivors")
+	}
+	// And the public query path agrees with the reference for a spread of
+	// queries and thresholds.
+	for qi := 0; qi < 60; qi += 7 {
+		r := recs[qi]
+		for _, tStar := range []float64{0.3, 0.6, 0.9} {
+			refIDs, err := ref.Query(r.Sig, r.Size, tStar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := x.Query(r.Sig, r.Size, tStar)
+			if !equalKeySets(refIDs, live) {
+				t.Fatalf("query %d t*=%v: live %v != ref %v", qi, tStar, sortedKeys(live), sortedKeys(refIDs))
+			}
+		}
+	}
+}
+
+func TestMergeKeepsAnswers(t *testing.T) {
+	recs := fixture(t, 240, 6)
+	opts := liveOpts()
+	x, err := Build(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	// Seal six small segments.
+	for s := 0; s < 6; s++ {
+		for _, r := range recs[s*40 : (s+1)*40] {
+			if _, err := x.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		x.Flush()
+	}
+	// Delete a few entries spread across segments.
+	for i := 0; i < 240; i += 17 {
+		x.Delete(recs[i].Key)
+	}
+	before := make([][]string, 24)
+	for i := range before {
+		r := recs[i*10]
+		before[i] = x.Query(r.Sig, r.Size, 1.0)
+	}
+	// Drive merges until within MaxSegments.
+	x.compactMu.Lock()
+	merges := 0
+	for x.mergeIfCrowded() {
+		merges++
+	}
+	x.compactMu.Unlock()
+	if merges == 0 {
+		t.Fatal("no merges ran with 6 segments and MaxSegments=3")
+	}
+	st := x.Stats()
+	if len(st.Segments) > opts.MaxSegments {
+		t.Fatalf("still %d segments after merging", len(st.Segments))
+	}
+	if st.Merges != uint64(merges) {
+		t.Fatalf("Stats.Merges = %d, want %d", st.Merges, merges)
+	}
+	// Self-retrieval at t*=1.0 must be preserved exactly: each surviving
+	// record still collides with itself in every band, and dead entries stay
+	// hidden. (Weaker-threshold candidate sets may legitimately change when
+	// partition bounds change.)
+	for i := range before {
+		r := recs[i*10]
+		after := x.Query(r.Sig, r.Size, 1.0)
+		wantSelf := i*10%17 != 0 // deleted every 17th
+		if got := contains(after, r.Key); got != wantSelf {
+			t.Fatalf("query %d: self-containment %v, want %v", i, got, wantSelf)
+		}
+	}
+}
+
+func TestBackgroundCompactorSealsAndMerges(t *testing.T) {
+	opts := liveOpts()
+	opts.ManualCompaction = false
+	opts.SealThreshold = 16
+	opts.MaxSegments = 2
+	recs := fixture(t, 400, 7)
+	x, err := Build(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The compactor runs asynchronously; wait for it to catch up (Flush
+	// serializes behind any in-flight seal via compactMu).
+	for i := 0; i < 100; i++ {
+		x.Flush()
+		if st := x.Stats(); st.Buffered == 0 && len(st.Segments) <= opts.MaxSegments+1 {
+			break
+		}
+	}
+	st := x.Stats()
+	if st.Seals == 0 {
+		t.Fatalf("background compactor never sealed: %+v", st)
+	}
+	if st.Domains != 400 {
+		t.Fatalf("Domains = %d, want 400", st.Domains)
+	}
+	for i := 0; i < 400; i += 13 {
+		r := recs[i]
+		if !contains(x.Query(r.Sig, r.Size, 1.0), r.Key) {
+			t.Fatalf("%s lost across background compaction", r.Key)
+		}
+	}
+}
+
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	recs := fixture(t, 220, 8)
+	x, err := Build(recs[:180], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs[180:] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 220; i += 11 {
+		x.Delete(recs[i].Key)
+	}
+	var queries []core.BatchQuery
+	for i := 0; i < 220; i += 5 {
+		queries = append(queries, core.BatchQuery{
+			Sig: recs[i].Sig, Size: recs[i].Size,
+			Threshold: []float64{0.3, 0.7, 1.0}[i%3],
+		})
+	}
+	for _, workers := range []int{0, 1, 3} {
+		rows := x.QueryBatch(queries, workers)
+		if len(rows) != len(queries) {
+			t.Fatalf("workers=%d: %d rows", workers, len(rows))
+		}
+		for i, q := range queries {
+			want := x.Query(q.Sig, q.Size, q.Threshold)
+			if !equalKeySets(rows[i], want) {
+				t.Fatalf("workers=%d row %d: %v != %v", workers, i, sortedKeys(rows[i]), sortedKeys(want))
+			}
+		}
+	}
+	if rows := x.QueryBatch(nil, 2); len(rows) != 0 {
+		t.Fatalf("empty batch returned %d rows", len(rows))
+	}
+	// Invalid query sizes yield empty rows — including from the buffer scan,
+	// matching core's batch contract.
+	rows := x.QueryBatch([]core.BatchQuery{
+		{Sig: recs[1].Sig, Size: 0, Threshold: 0.5},
+		{Sig: recs[1].Sig, Size: -3, Threshold: 0.5},
+	}, 2)
+	if len(rows[0]) != 0 || len(rows[1]) != 0 {
+		t.Fatalf("non-positive query sizes returned %d/%d keys, want empty rows",
+			len(rows[0]), len(rows[1]))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	recs := fixture(t, 150, 9)
+	x, err := Build(recs[:100], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs[100:130] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Flush()
+	for _, r := range recs[130:] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 150; i += 19 {
+		x.Delete(recs[i].Key)
+	}
+
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Load(bytes.NewReader(buf.Bytes()), liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Close()
+
+	sx, sy := x.Stats(), y.Stats()
+	if fmt.Sprint(sx) != fmt.Sprint(sy.withoutCounters(sx)) {
+		t.Fatalf("stats differ after reload:\n  saved  %+v\n  loaded %+v", sx, sy)
+	}
+	for i := 0; i < 150; i += 7 {
+		r := recs[i]
+		for _, tStar := range []float64{0.4, 1.0} {
+			a, b := x.Query(r.Sig, r.Size, tStar), y.Query(r.Sig, r.Size, tStar)
+			if !equalKeySets(a, b) {
+				t.Fatalf("query %d t*=%v: %v != %v after reload", i, tStar, sortedKeys(a), sortedKeys(b))
+			}
+		}
+	}
+	// Mutations must keep working on the loaded index with correct upsert
+	// and delete semantics (the writer-side key → seq map was rebuilt).
+	if replaced, err := y.Add(recs[1]); err != nil || !replaced {
+		t.Fatalf("Add existing after reload: replaced=%v err=%v", replaced, err)
+	}
+	if !y.Delete(recs[2].Key) {
+		t.Fatal("Delete existing after reload = false")
+	}
+	if y.Delete(recs[0].Key) {
+		t.Fatal("Delete of key tombstoned before Save = true after reload")
+	}
+}
+
+// withoutCounters copies s with the operation counters taken from o, so
+// point-in-time shape comparison ignores how the shape was reached.
+func (s Stats) withoutCounters(o Stats) Stats {
+	s.Seals, s.Merges = o.Seals, o.Merges
+	return s
+}
+
+func TestLoadRejectsGarbageAndMismatch(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk")), liveOpts()); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	recs := fixture(t, 30, 10)
+	x, err := Build(recs, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	buf := x.AppendBinary(nil)
+	// 20–23 cover a header cut inside the seq field, which must return
+	// ErrCorrupt rather than panic (the fixed header is 24 bytes).
+	for _, cut := range []int{3, 17, 20, 21, 22, 23, len(buf) / 2, len(buf) - 2} {
+		if _, err := Load(bytes.NewReader(buf[:cut]), liveOpts()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := liveOpts()
+	bad.NumHash = 256
+	if _, err := Load(bytes.NewReader(buf), bad); err == nil {
+		t.Fatal("NumHash mismatch accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	recs := fixture(t, 10, 11)
+	x, err := Build(recs, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if _, err := x.Add(core.Record{Key: "bad", Size: 0, Sig: recs[0].Sig}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := x.Add(core.Record{Key: "bad", Size: 5, Sig: recs[0].Sig[:8]}); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	if _, err := Build([]core.Record{{Key: "bad", Size: 0, Sig: recs[0].Sig}}, liveOpts()); err == nil {
+		t.Fatal("Build accepted invalid record")
+	}
+	// Empty index answers queries and accepts its first Add.
+	e, err := New(liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if res := e.Query(recs[0].Sig, recs[0].Size, 0.5); len(res) != 0 {
+		t.Fatalf("empty index returned %v", res)
+	}
+	if _, err := e.Add(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !contains(e.Query(recs[0].Sig, recs[0].Size, 1.0), recs[0].Key) {
+		t.Fatal("first Add not retrievable")
+	}
+}
+
+func TestBuildUpsertsDuplicateKeys(t *testing.T) {
+	recs := fixture(t, 20, 12)
+	dup := append(append([]core.Record{}, recs...), core.Record{
+		Key: recs[3].Key, Size: recs[4].Size, Sig: recs[4].Sig,
+	})
+	x, err := Build(dup, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if x.Len() != 20 {
+		t.Fatalf("Len = %d, want 20 (duplicate collapsed)", x.Len())
+	}
+	n := 0
+	for _, k := range x.Query(recs[4].Sig, recs[4].Size, 1.0) {
+		if k == recs[3].Key {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("duplicate key appears %d times", n)
+	}
+}
+
+func TestTombstoneGC(t *testing.T) {
+	recs := fixture(t, 64, 13)
+	x, err := Build(recs[:32], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	for _, r := range recs[32:] {
+		if _, err := x.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Flush()
+	for i := 0; i < 20; i++ {
+		x.Delete(recs[i].Key)
+	}
+	if st := x.Stats(); st.Tombstones != 20 {
+		t.Fatalf("Tombstones = %d, want 20", st.Tombstones)
+	}
+	x.Compact()
+	st := x.Stats()
+	if st.Tombstones != 0 {
+		t.Fatalf("Tombstones = %d after Compact, want 0", st.Tombstones)
+	}
+	if st.Domains != 44 || len(st.Segments) != 1 || st.Segments[0] != 44 {
+		t.Fatalf("unexpected shape after Compact: %+v", st)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package live
+
+// raceEnabled reports that the race detector is active: its runtime adds
+// allocations of its own and randomizes sync.Pool reuse, so strict
+// allocation-count assertions are skipped.
+const raceEnabled = true

@@ -1,0 +1,288 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+)
+
+// Binary snapshot format (all integers little-endian):
+//
+//	magic "LIVE" | version u32
+//	numHash u32 | rMax u32 | seq u64
+//	nsegs u32, per segment: n u32, seqs [n]u64, core index bytes (self-framed)
+//	nbuf u32, per entry: seq u64, keylen u32, key, size u64, sig [numHash]u64
+//	ntombs u32, per tombstone: keylen u32, key, seq u64
+//
+// Save serializes a point-in-time snapshot: it is safe to call while
+// writers and the compactor run (they publish new snapshots; the one being
+// written stays frozen). Load rebuilds the writer-side state (key → seq
+// map, live count) by replaying the tombstones over the entries.
+
+var liveMagic = [4]byte{'L', 'I', 'V', 'E'}
+
+const liveVersion = 1
+
+// ErrCorrupt reports a malformed live-snapshot encoding.
+var ErrCorrupt = errors.New("live: corrupt snapshot encoding")
+
+// AppendBinary appends the index's snapshot encoding to buf.
+func (x *Index) AppendBinary(buf []byte) []byte {
+	// seq and the snapshot must agree (seq covers every mutation the
+	// snapshot shows); taking the writer mutex for the two loads is the only
+	// place the save path touches it.
+	x.mu.Lock()
+	sn := x.snap.Load()
+	seq := x.seq
+	x.mu.Unlock()
+
+	buf = append(buf, liveMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, liveVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumHash))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.RMax))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.segs)))
+	for _, seg := range sn.segs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seg.seqs)))
+		for _, s := range seg.seqs {
+			buf = binary.LittleEndian.AppendUint64(buf, s)
+		}
+		buf = seg.idx.AppendBinary(buf)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.buf)))
+	for i := range sn.buf {
+		e := &sn.buf[i]
+		buf = binary.LittleEndian.AppendUint64(buf, e.seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.rec.Key)))
+		buf = append(buf, e.rec.Key...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.rec.Size))
+		for _, v := range e.rec.Sig {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.tombs)))
+	for k, s := range sn.tombs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	return buf
+}
+
+// Save writes the index's snapshot encoding to w. See AppendBinary for the
+// consistency guarantees.
+func (x *Index) Save(w io.Writer) error {
+	buf := x.AppendBinary(nil)
+	n, err := w.Write(buf)
+	if err != nil {
+		return err
+	}
+	if n != len(buf) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// Load reconstructs a live index from a snapshot previously written with
+// Save, using opts for the runtime knobs (thresholds, compactor). Non-zero
+// opts.NumHash/opts.RMax must match the saved shape — a mismatched hash
+// family would silently return garbage, so it is rejected here. The
+// background compactor starts unless opts.ManualCompaction is set.
+func Load(r io.Reader, opts Options) (*Index, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Fixed header: magic(4) + version(4) + numHash(4) + rMax(4) + seq(8).
+	if len(buf) < 24 || [4]byte(buf[:4]) != liveMagic {
+		return nil, ErrCorrupt
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != liveVersion {
+		return nil, fmt.Errorf("live: snapshot version %d, want %d: %w", v, liveVersion, ErrCorrupt)
+	}
+	numHash := int(binary.LittleEndian.Uint32(buf[8:]))
+	rMax := int(binary.LittleEndian.Uint32(buf[12:]))
+	seq := binary.LittleEndian.Uint64(buf[16:])
+	buf = buf[24:]
+	if opts.NumHash != 0 && opts.NumHash != numHash {
+		return nil, fmt.Errorf("live: snapshot NumHash %d != configured %d", numHash, opts.NumHash)
+	}
+	if opts.RMax != 0 && opts.RMax != rMax {
+		return nil, fmt.Errorf("live: snapshot RMax %d != configured %d", rMax, opts.RMax)
+	}
+	opts.NumHash, opts.RMax = numHash, rMax
+	opts = opts.withDefaults()
+	if err := opts.Options.Validate(); err != nil {
+		return nil, err
+	}
+
+	x := &Index{
+		opts:   opts,
+		keySeq: make(map[string]uint64),
+		nudge:  make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	x.tuner = newTuner(opts)
+
+	sn := &snapshot{}
+	nsegs, buf, err := readCount(buf)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nsegs; i++ {
+		var n int
+		n, buf, err = readCount(buf)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) < 8*n {
+			return nil, ErrCorrupt
+		}
+		seqs := make([]uint64, n)
+		for j := range seqs {
+			seqs[j] = binary.LittleEndian.Uint64(buf)
+			buf = buf[8:]
+			if j > 0 && seqs[j] <= seqs[j-1] {
+				return nil, fmt.Errorf("live: segment %d seqs not ascending: %w", i, ErrCorrupt)
+			}
+		}
+		idx, rest, err := core.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		if idx.Len() != n {
+			return nil, fmt.Errorf("live: segment %d holds %d entries, %d seqs: %w", i, idx.Len(), n, ErrCorrupt)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("live: segment %d is empty: %w", i, ErrCorrupt)
+		}
+		if o := idx.Options(); o.NumHash != numHash || o.RMax != rMax {
+			return nil, fmt.Errorf("live: segment %d shape (%d, %d) != header (%d, %d): %w",
+				i, o.NumHash, o.RMax, numHash, rMax, ErrCorrupt)
+		}
+		sn.segs = append(sn.segs, &segment{idx: idx, seqs: seqs})
+	}
+	nbuf, buf, err := readCount(buf)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nbuf; i++ {
+		if len(buf) < 12 {
+			return nil, ErrCorrupt
+		}
+		eseq := binary.LittleEndian.Uint64(buf)
+		kl := int(binary.LittleEndian.Uint32(buf[8:]))
+		buf = buf[12:]
+		if len(buf) < kl+8 {
+			return nil, ErrCorrupt
+		}
+		key := string(buf[:kl])
+		size := int(binary.LittleEndian.Uint64(buf[kl:]))
+		buf = buf[kl+8:]
+		if len(buf) < 8*numHash {
+			return nil, ErrCorrupt
+		}
+		sig := make(minhash.Signature, numHash)
+		for j := range sig {
+			sig[j] = binary.LittleEndian.Uint64(buf)
+			buf = buf[8:]
+		}
+		rec := core.Record{Key: key, Size: size, Sig: sig}
+		if err := x.validateRecord(rec); err != nil {
+			return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
+		}
+		x.bufBack = append(x.bufBack, entry{rec: rec, seq: eseq})
+		if size > sn.bufMax {
+			sn.bufMax = size
+		}
+	}
+	sn.buf = x.bufBack
+	ntombs, buf, err := readCount(buf)
+	if err != nil {
+		return nil, err
+	}
+	if ntombs > 0 {
+		sn.tombs = make(map[string]uint64, ntombs)
+		for i := 0; i < ntombs; i++ {
+			if len(buf) < 4 {
+				return nil, ErrCorrupt
+			}
+			kl := int(binary.LittleEndian.Uint32(buf))
+			buf = buf[4:]
+			if len(buf) < kl+8 {
+				return nil, ErrCorrupt
+			}
+			sn.tombs[string(buf[:kl])] = binary.LittleEndian.Uint64(buf[kl:])
+			buf = buf[kl+8:]
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("live: %d trailing bytes after snapshot: %w", len(buf), ErrCorrupt)
+	}
+
+	// Rebuild the writer-side view: the live entry of each key is the one
+	// not shadowed by a tombstone; at most one per key exists in a
+	// well-formed snapshot, so the highest seq wins defensively.
+	live := 0
+	note := func(key string, s uint64) {
+		if sn.tombs[key] > s {
+			return
+		}
+		if old, ok := x.keySeq[key]; !ok {
+			x.keySeq[key] = s
+			live++
+		} else if s > old {
+			x.keySeq[key] = s
+		}
+	}
+	for _, seg := range sn.segs {
+		for id := 0; id < seg.idx.Len(); id++ {
+			note(seg.idx.Key(uint32(id)), seg.seqs[id])
+		}
+	}
+	for i := range sn.buf {
+		note(sn.buf[i].rec.Key, sn.buf[i].seq)
+	}
+	x.domains.Store(int64(live))
+	x.seq = seq
+	for _, k := range x.keySeq {
+		if k > x.seq {
+			x.seq = k
+		}
+	}
+	for _, s := range sn.tombs {
+		if s > x.seq {
+			x.seq = s
+		}
+	}
+	x.snap.Store(sn)
+	if !opts.ManualCompaction {
+		go x.compactor()
+		if len(sn.buf) >= opts.SealThreshold {
+			x.kick()
+		}
+	} else {
+		close(x.done)
+	}
+	return x, nil
+}
+
+// readCount reads a u32 count, bounded by the remaining buffer so a hostile
+// header cannot drive huge allocations.
+func readCount(buf []byte) (int, []byte, error) {
+	if len(buf) < 4 {
+		return 0, buf, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 0 || n > len(buf) {
+		return 0, buf, ErrCorrupt
+	}
+	return n, buf, nil
+}

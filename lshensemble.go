@@ -7,6 +7,7 @@ import (
 	"lshensemble/internal/asym"
 	"lshensemble/internal/baseline"
 	"lshensemble/internal/core"
+	"lshensemble/internal/live"
 	"lshensemble/internal/minhash"
 	"lshensemble/internal/partition"
 )
@@ -105,6 +106,43 @@ type BatchQuery = core.BatchQuery
 // BatchResults is the reusable destination of Index.QueryBatchInto — the
 // allocation-free batch serving path.
 type BatchResults = core.BatchResults
+
+// LiveIndex is a mutable, always-queryable LSH Ensemble: an
+// atomically-swapped snapshot of sealed immutable segments, an unsealed
+// in-memory buffer of recent Adds, and a tombstone set for deletes, with a
+// background compactor folding the buffer into segments and merging small
+// segments. Queries are lock-free against Add/Delete/compaction and answer
+// from a consistent point-in-time snapshot; full compaction is
+// equivalence-preserving (bit-identical to a fresh Build over the surviving
+// records). See the internal/live package documentation for the model.
+type LiveIndex = live.Index
+
+// LiveOptions configures BuildLive: the embedded Options shape every sealed
+// segment, SealThreshold/MaxSegments tune the compactor.
+type LiveOptions = live.Options
+
+// LiveStats is the point-in-time shape summary returned by LiveIndex.Stats.
+type LiveStats = live.Stats
+
+// BuildLive constructs a live (mutable, always-queryable) index over the
+// records; records may be empty to start from nothing. Unless
+// opts.ManualCompaction is set, a background compactor goroutine is
+// started — call Close to release it.
+func BuildLive(records []DomainRecord, opts LiveOptions) (*LiveIndex, error) {
+	return live.Build(records, opts)
+}
+
+// SaveLive writes the live index's point-in-time snapshot encoding to w.
+// It is safe to call while writers and the compactor run.
+func SaveLive(w io.Writer, idx *LiveIndex) error {
+	return idx.Save(w)
+}
+
+// LoadLive reads a live index previously written with SaveLive — the warm
+// restart path. Non-zero opts.NumHash/opts.RMax must match the saved shape.
+func LoadLive(r io.Reader, opts LiveOptions) (*LiveIndex, error) {
+	return live.Load(r, opts)
+}
 
 // Save writes the index's binary encoding to w.
 func Save(w io.Writer, idx *Index) error {

@@ -50,12 +50,22 @@ func buildFixture(t testing.TB) (*lshensemble.Index, *lshensemble.Hasher, map[st
 	return idx, h, tables
 }
 
+// queryKeys is the test shorthand for Query on an index with no pending adds.
+func queryKeys(t testing.TB, idx *lshensemble.Index, sig lshensemble.Signature, size int, tStar float64) []string {
+	t.Helper()
+	res, err := idx.Query(sig, size, tStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestPublicAPIEndToEnd(t *testing.T) {
 	idx, h, tables := buildFixture(t)
 	// provinces ⊂ locations: querying with provinces at t*=1.0 must find
 	// geo:location (and the domain itself).
 	q := lshensemble.SketchStrings(h, "query", tables["grants:province"])
-	res := idx.Query(q.Sig, q.Size, 1.0)
+	res := queryKeys(t, idx, q.Sig, q.Size, 1.0)
 	found := map[string]bool{}
 	for _, k := range res {
 		found[k] = true
@@ -72,7 +82,7 @@ func TestPublicAPIPartialContainment(t *testing.T) {
 	idx, h, tables := buildFixture(t)
 	// vendors = partners[:8] so t(partner-query, vendor) = 8/12 ≈ 0.67.
 	q := lshensemble.SketchStrings(h, "query", tables["grants:partner"])
-	res := idx.Query(q.Sig, q.Size, 0.5)
+	res := queryKeys(t, idx, q.Sig, q.Size, 0.5)
 	found := map[string]bool{}
 	for _, k := range res {
 		found[k] = true
@@ -82,7 +92,7 @@ func TestPublicAPIPartialContainment(t *testing.T) {
 	}
 	// At t*=0.95 the vendor column (0.67) should usually be dropped; the
 	// domain itself must remain.
-	res = idx.Query(q.Sig, q.Size, 0.95)
+	res = queryKeys(t, idx, q.Sig, q.Size, 0.95)
 	selfFound := false
 	for _, k := range res {
 		if k == "grants:partner" {
@@ -113,8 +123,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := lshensemble.SketchStrings(h, "query", tables["grants:province"])
-	a := idx.Query(q.Sig, q.Size, 0.9)
-	b := loaded.Query(q.Sig, q.Size, 0.9)
+	a := queryKeys(t, idx, q.Sig, q.Size, 0.9)
+	b := queryKeys(t, loaded, q.Sig, q.Size, 0.9)
 	sort.Strings(a)
 	sort.Strings(b)
 	if fmt.Sprint(a) != fmt.Sprint(b) {
@@ -176,7 +186,7 @@ func TestPartitionerVariables(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		r := records[0]
-		res := idx.Query(r.Sig, r.Size, 1.0)
+		res := queryKeys(t, idx, r.Sig, r.Size, 1.0)
 		ok := false
 		for _, k := range res {
 			if k == r.Key {
@@ -202,7 +212,10 @@ func ExampleBuild() {
 		panic(err)
 	}
 	query := lshensemble.SketchStrings(hasher, "q", []string{"red", "green", "blue"})
-	matches := index.Query(query.Sig, query.Size, 1.0)
+	matches, err := index.Query(query.Sig, query.Size, 1.0)
+	if err != nil {
+		panic(err)
+	}
 	sort.Strings(matches)
 	fmt.Println(matches)
 	// Output: [colors primaries]
