@@ -21,6 +21,7 @@ import (
 	"lshensemble/internal/staticlsh"
 	"lshensemble/internal/stats"
 	"lshensemble/internal/tune"
+	"lshensemble/internal/xrand"
 )
 
 // fixture caches a sketched corpus so repeated benches share setup cost.
@@ -559,6 +560,9 @@ func liveBenchIndex(b *testing.B, f *fixture, seal int) *lshensemble.LiveIndex {
 		Options:       lshensemble.Options{NumPartitions: 16},
 		SealThreshold: seal,
 		MaxSegments:   8,
+		// Result caching off: these benches predate the planner and measure
+		// the raw probe path; BenchmarkResultCacheHit measures the cache.
+		ResultCacheSize: -1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -674,9 +678,10 @@ func BenchmarkLiveQueryDuringCompaction(b *testing.B) {
 func BenchmarkLiveIngest(b *testing.B) {
 	f := openDataFixture(b, 8000)
 	idx, err := lshensemble.BuildLive(nil, lshensemble.LiveOptions{
-		Options:       lshensemble.Options{NumPartitions: 16},
-		SealThreshold: 1024,
-		MaxSegments:   8,
+		Options:         lshensemble.Options{NumPartitions: 16},
+		SealThreshold:   1024,
+		MaxSegments:     8,
+		ResultCacheSize: -1,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -694,4 +699,141 @@ func BenchmarkLiveIngest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Segment-aware query planning ---
+
+// poolRecords synthesizes records whose signature values carry a pool tag in
+// the top byte, so records from different pools never collide in the forest.
+// datagen's value universes overlap across seeds, which would leave every
+// segment a Bloom candidate; disjoint pools give the planner segments it can
+// provably rule out.
+func poolRecords(pool uint64, n, minSize, maxSize int) []lshensemble.DomainRecord {
+	rng := xrand.New(pool*0x9E3779B97F4A7C15 + 1)
+	recs := make([]lshensemble.DomainRecord, n)
+	for i := range recs {
+		sig := make(minhash.Signature, 128)
+		for j := range sig {
+			sig[j] = pool<<56 | rng.Uint64()&((1<<56)-1)
+		}
+		recs[i] = lshensemble.DomainRecord{
+			Key:  fmt.Sprintf("p%02d-%04d", pool, i),
+			Size: minSize + int(rng.Uint64()%uint64(maxSize-minSize+1)),
+			Sig:  sig,
+		}
+	}
+	return recs
+}
+
+// manySegmentsIndex builds a live index with exactly `pools` sealed segments
+// (one per disjoint value pool) and returns the records of the first
+// hotPools pools — the only segments any query over them can match.
+func manySegmentsIndex(b *testing.B, opts lshensemble.LiveOptions, pools, hotPools int) (*lshensemble.LiveIndex, []lshensemble.DomainRecord) {
+	b.Helper()
+	idx, err := lshensemble.BuildLive(nil, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hot []lshensemble.DomainRecord
+	for p := 0; p < pools; p++ {
+		recs := poolRecords(uint64(p), 64, 32, 512)
+		for _, r := range recs {
+			if _, err := idx.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		idx.Flush() // one sealed segment per pool; ManualCompaction keeps them apart
+		if p < hotPools {
+			hot = append(hot, recs...)
+		}
+	}
+	return idx, hot
+}
+
+// BenchmarkLiveQueryManySegments measures what segment pruning buys on a
+// snapshot with many sealed segments when the query's candidates live in only
+// a few of them — the skewed shape a long-running daemon reaches. 8 of 32
+// segments hold candidates; the planner's Bloom/range metadata must rule the
+// other 24 out without probing. The pruned config keeps the result cache off
+// so the speedup is honest planning, not memoization.
+func BenchmarkLiveQueryManySegments(b *testing.B) {
+	const pools, hotPools = 32, 8
+	run := func(b *testing.B, opts lshensemble.LiveOptions) {
+		idx, hot := manySegmentsIndex(b, opts, pools, hotPools)
+		defer idx.Close()
+		// A fixed 64-query working set spread across the hot pools: a steady
+		// query mix whose distinct (size, threshold) plans all fit the plan
+		// cache, so the timed loop measures the planner's steady state.
+		queries := make([]lshensemble.DomainRecord, 64)
+		for i := range queries {
+			queries[i] = hot[i*17%len(hot)]
+		}
+		var dst []string
+		for _, r := range queries { // warm scratch + plan cache
+			dst = idx.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+		}
+		st := idx.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := queries[i%len(queries)]
+			dst = idx.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+		}
+		b.StopTimer()
+		after := idx.Stats()
+		probed := after.Planner.SegmentsProbed - st.Planner.SegmentsProbed
+		pruned := after.Planner.SegmentsRangePruned - st.Planner.SegmentsRangePruned +
+			after.Planner.SegmentsBloomPruned - st.Planner.SegmentsBloomPruned
+		if total := probed + pruned; total > 0 {
+			b.ReportMetric(float64(pruned)/float64(total), "pruned-frac")
+		}
+	}
+	base := lshensemble.LiveOptions{
+		Options:          lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8},
+		SealThreshold:    64,
+		MaxSegments:      pools + 1,
+		ManualCompaction: true,
+		ResultCacheSize:  -1,
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, base) })
+	b.Run("unpruned", func(b *testing.B) {
+		opts := base
+		opts.DisablePruning = true
+		opts.DisablePlanCache = true
+		run(b, opts)
+	})
+}
+
+// BenchmarkResultCacheHit measures the snapshot-coherent result cache: the
+// hit path (same query, unchanged snapshot generation) against the cold path
+// (cache disabled, full planned scan every time). Hits must be
+// allocation-free — the cached key slice is appended straight into dst.
+func BenchmarkResultCacheHit(b *testing.B) {
+	const pools, hotPools = 32, 8
+	run := func(b *testing.B, cacheSize int, spread int) {
+		opts := lshensemble.LiveOptions{
+			Options:          lshensemble.Options{NumHash: 128, RMax: 4, NumPartitions: 8},
+			SealThreshold:    64,
+			MaxSegments:      pools + 1,
+			ManualCompaction: true,
+			ResultCacheSize:  cacheSize,
+		}
+		idx, hot := manySegmentsIndex(b, opts, pools, hotPools)
+		defer idx.Close()
+		var dst []string
+		for i := 0; i < spread; i++ {
+			r := hot[i]
+			dst = idx.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := hot[i%spread]
+			dst = idx.QueryAppend(dst[:0], r.Sig, r.Size, 0.5)
+		}
+	}
+	// 64 distinct queries cycle well inside the default 1024-entry cache, so
+	// after warmup every iteration is a generation-checked hit.
+	b.Run("hit", func(b *testing.B) { run(b, 0, 64) })
+	b.Run("cold", func(b *testing.B) { run(b, -1, 64) })
 }

@@ -8,21 +8,36 @@
 //	POST /add          {"key": "t1:col", "values": ["a", "b", ...]}
 //	POST /delete       {"key": "t1:col"}
 //	POST /query        {"values": [...], "threshold": 0.7}
+//	POST /query/topk   {"values": [...], "k": 10} → ranked {key, est_containment}
 //	POST /query/batch  {"queries": [{"values": [...], "threshold": 0.7}, ...]}
 //	GET  /stats        index shape: segments, buffer, tombstones, counters
 //	POST /compact      full compaction, returns the new shape
 //	POST /save         persist a snapshot to the -snapshot path
 //	GET  /healthz      liveness probe
 //
+// /stats includes per-segment planner metadata ("segment_detail": entry
+// count, size range, max partition bound, Bloom-filter bytes) and the
+// aggregated "planner" counters (segments probed vs range/Bloom pruned,
+// plan- and result-cache hits and misses, top-k early exits) — watch these
+// to see what the query planner is saving on a given workload.
+//
 // With -snapshot the daemon loads the file at boot when it exists (warm
 // restart) and saves on SIGINT/SIGTERM, so a rolling restart keeps the
-// corpus without replaying ingest.
+// corpus without replaying ingest. Current snapshots carry the planner
+// metadata inline (wire v2); snapshots from older daemons (v1) still load —
+// the planner metadata is rebuilt during load.
 //
 // Usage:
 //
 //	lshensembled [-addr :7447] [-hashes 256] [-rmax 8] [-partitions 16]
 //	             [-seed 42] [-seal 4096] [-max-segments 8]
 //	             [-snapshot /var/lib/lshensembled/index.snap]
+//	             [-no-prune] [-no-plan-cache] [-result-cache 1024]
+//
+// The planner escape hatches exist for A/B measurement and debugging:
+// -no-prune disables segment Bloom/range pruning and top-k early
+// termination, -no-plan-cache re-tunes (b, r) on every query, and
+// -result-cache sets the result-cache capacity in entries (0 disables it).
 package main
 
 import (
@@ -49,16 +64,26 @@ func main() {
 	seal := flag.Int("seal", 4096, "buffered adds that trigger a background seal")
 	maxSegments := flag.Int("max-segments", 8, "sealed segments above which the compactor merges")
 	snapshot := flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown and POST /save")
+	noPrune := flag.Bool("no-prune", false, "disable segment Bloom/range pruning and top-k early termination (A/B escape hatch)")
+	noPlanCache := flag.Bool("no-plan-cache", false, "disable the per-snapshot (b, r) plan cache (A/B escape hatch)")
+	resultCache := flag.Int("result-cache", 1024, "result-cache capacity in entries (0 disables)")
 	flag.Parse()
 
+	resultCacheSize := *resultCache
+	if resultCacheSize <= 0 {
+		resultCacheSize = -1 // LiveOptions uses 0 for "default"; the flag uses 0 for "off"
+	}
 	opts := lshensemble.LiveOptions{
 		Options: lshensemble.Options{
 			NumHash:       *hashes,
 			RMax:          *rMax,
 			NumPartitions: *partitions,
 		},
-		SealThreshold: *seal,
-		MaxSegments:   *maxSegments,
+		SealThreshold:    *seal,
+		MaxSegments:      *maxSegments,
+		DisablePruning:   *noPrune,
+		DisablePlanCache: *noPlanCache,
+		ResultCacheSize:  resultCacheSize,
 	}
 
 	var idx *lshensemble.LiveIndex

@@ -36,6 +36,7 @@ func newServer(idx *lshensemble.LiveIndex, hasher *lshensemble.Hasher, seed uint
 	s.mux.HandleFunc("POST /add", s.handleAdd)
 	s.mux.HandleFunc("POST /delete", s.handleDelete)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/topk", s.handleQueryTopK)
 	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /compact", s.handleCompact)
@@ -79,6 +80,26 @@ type queryRequest struct {
 type queryResponse struct {
 	Matches []string `json:"matches"`
 	Count   int      `json:"count"`
+}
+
+type topKRequest struct {
+	Values []string `json:"values"`
+	// K is the number of ranked results to return; 0 means 10.
+	K int `json:"k"`
+	// Size optionally overrides |Q| (defaults to the distinct value count).
+	Size int `json:"size"`
+}
+
+type topKMatch struct {
+	Key string `json:"key"`
+	// EstContainment is the signature-estimated containment used for the
+	// ranking; exact scores require the raw domains.
+	EstContainment float64 `json:"est_containment"`
+}
+
+type topKResponse struct {
+	Matches []topKMatch `json:"matches"`
+	Count   int         `json:"count"`
 }
 
 type batchRequest struct {
@@ -198,6 +219,36 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	matches := s.idx.Query(q.Sig, q.Size, q.Threshold)
 	sort.Strings(matches)
 	writeJSON(w, http.StatusOK, queryResponse{Matches: matches, Count: len(matches)})
+}
+
+func (s *server) handleQueryTopK(w http.ResponseWriter, r *http.Request) {
+	var req topKRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("values must be non-empty"))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k %d must be positive", req.K))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	rec := lshensemble.SketchStrings(s.hasher, "query", req.Values)
+	size := rec.Size
+	if req.Size > 0 {
+		size = req.Size
+	}
+	ranked := s.idx.QueryTopK(rec.Sig, size, k)
+	resp := topKResponse{Matches: make([]topKMatch, len(ranked)), Count: len(ranked)}
+	for i, m := range ranked {
+		resp.Matches[i] = topKMatch{Key: m.Key, EstContainment: m.EstContainment}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {

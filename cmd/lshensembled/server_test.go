@@ -286,6 +286,65 @@ func TestDaemonConcurrentTraffic(t *testing.T) {
 	}
 }
 
+func TestDaemonTopKAndPlannerStats(t *testing.T) {
+	_, ts := testServer(t, "")
+	base := ts.URL
+	seedCorpus(t, base)
+
+	// Top-k: the provinces query ranks its superset columns first, with the
+	// exact-superset province column at estimated containment 1.
+	provinces := []string{"Ontario", "Quebec", "British Columbia", "Alberta",
+		"Manitoba", "Saskatchewan", "Nova Scotia", "New Brunswick",
+		"Newfoundland and Labrador", "Prince Edward Island"}
+	var tk topKResponse
+	post(t, base+"/query/topk", topKRequest{Values: provinces, K: 2}, http.StatusOK, &tk)
+	if tk.Count != 2 || len(tk.Matches) != 2 {
+		t.Fatalf("topk: %+v", tk)
+	}
+	// Both superset columns fully contain the query (est 1.0); the
+	// unrelated partner column must not make the cut.
+	for _, m := range tk.Matches {
+		if m.Key != "grants:province" && m.Key != "geo:location" {
+			t.Fatalf("topk ranked unrelated column: %+v", tk.Matches)
+		}
+	}
+	if tk.Matches[0].EstContainment < tk.Matches[1].EstContainment {
+		t.Fatalf("topk not ranked: %+v", tk.Matches)
+	}
+	// Default k kicks in when omitted; the corpus only has 3 columns.
+	post(t, base+"/query/topk", topKRequest{Values: provinces}, http.StatusOK, &tk)
+	if tk.Count > 3 {
+		t.Fatalf("default-k topk returned %d matches", tk.Count)
+	}
+
+	// Compact seals the buffer, so /stats must expose the segment's planner
+	// metadata and the queries above must have moved the planner counters.
+	var st statsResponse
+	post(t, base+"/compact", nil, http.StatusOK, &st)
+	if len(st.SegmentDetail) == 0 {
+		t.Fatalf("no segment_detail after compact: %+v", st)
+	}
+	d := st.SegmentDetail[0]
+	if d.Entries == 0 || d.MinSize <= 0 || d.MaxSize < d.MinSize || d.MaxBound < d.MaxSize || d.BloomBytes == 0 {
+		t.Fatalf("implausible segment detail: %+v", d)
+	}
+	var q queryResponse
+	post(t, base+"/query", queryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q)
+	post(t, base+"/query", queryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q) // second hit caches
+	get(t, base+"/stats", &st)
+	p := st.Planner
+	if p.SegmentsProbed+p.SegmentsRangePruned+p.SegmentsBloomPruned == 0 {
+		t.Fatalf("planner made no segment decisions: %+v", p)
+	}
+	if p.ResultHits == 0 {
+		t.Fatalf("repeated query did not hit the result cache: %+v", p)
+	}
+
+	// Input validation.
+	post(t, base+"/query/topk", topKRequest{Values: nil}, http.StatusBadRequest, nil)
+	post(t, base+"/query/topk", topKRequest{Values: []string{"x"}, K: -1}, http.StatusBadRequest, nil)
+}
+
 func containsKey(keys []string, k string) bool {
 	for _, key := range keys {
 		if key == k {

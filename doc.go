@@ -136,12 +136,28 @@
 //     records in mutation order (and therefore answers every query
 //     identically), with every tombstone purged.
 //   - SaveLive/LoadLive persist a point-in-time snapshot for warm restarts;
-//     Save is safe while writers run.
+//     Save is safe while writers run. The snapshot wire format is
+//     versioned: current files (v2) embed the planner metadata below,
+//     pre-planner (v1) files still load and rebuild it.
+//
+// Queries are planned per segment: sealed segments carry seal-time
+// metadata (domain-size range, partition bounds, key and leading-value
+// Bloom filters) that lets the query path skip segments which provably
+// cannot contain a candidate, and QueryTopK visits segments in
+// largest-bound-first order with early termination. Pruning never changes
+// an answer — planned results are byte-identical to a full scan. Two
+// caches ride on snapshot generations (a tuned-(b,r) plan cache and a
+// lock-free result cache) and are validated by a single generation
+// compare on read, so repeated queries against an unchanged corpus are
+// allocation-free cache hits. LiveOptions.DisablePruning,
+// DisablePlanCache and ResultCacheSize expose the knobs; LiveStats
+// reports per-segment metadata and prune/hit counters.
 //
 // cmd/lshensembled serves a LiveIndex over HTTP (/add, /delete, /query,
-// /query/batch backed by the batch engine, /stats, /compact, /save) with
-// snapshot load at boot and save on shutdown; examples/dynamic walks the
-// churn-and-compact lifecycle.
+// /query/topk, /query/batch backed by the batch engine, /stats, /compact,
+// /save) with snapshot load at boot and save on shutdown;
+// examples/dynamic walks the churn-and-compact lifecycle and prints what
+// the planner pruned.
 //
 // See ROADMAP.md for representative before/after benchmark numbers.
 //

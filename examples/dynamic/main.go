@@ -114,4 +114,27 @@ func main() {
 	idx.Compact()
 	p, r = measure(idx, corpus, records, 50)
 	fmt.Printf("compacted: %s, P=%.3f R=%.3f\n", describe(idx.Stats()), p, r)
+
+	// What the query planner did across all the measurement runs above:
+	// segments ruled out by size range or the collision Bloom filter were
+	// never probed, and repeated (b, r) tunings came from the plan cache.
+	st := idx.Stats()
+	pl := st.Planner
+	decisions := pl.SegmentsProbed + pl.SegmentsRangePruned + pl.SegmentsBloomPruned
+	fmt.Printf("planner: %d/%d segment visits pruned (%d by size range, %d by Bloom), "+
+		"plan cache %d hits/%d misses, result cache %d hits/%d misses\n",
+		pl.SegmentsRangePruned+pl.SegmentsBloomPruned, decisions,
+		pl.SegmentsRangePruned, pl.SegmentsBloomPruned,
+		pl.PlanHits, pl.PlanMisses, pl.ResultHits, pl.ResultMisses)
+	for i, d := range st.SegmentDetail {
+		fmt.Printf("  segment %d: %d entries, sizes [%d, %d], max bound %d, bloom %s\n",
+			i, d.Entries, d.MinSize, d.MaxSize, d.MaxBound, byteCount(d.BloomBytes))
+	}
+}
+
+func byteCount(n int) string {
+	if n >= 1<<10 {
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }

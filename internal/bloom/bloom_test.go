@@ -1,0 +1,120 @@
+package bloom
+
+import (
+	"bytes"
+	"testing"
+
+	"lshensemble/internal/xrand"
+)
+
+func TestNoFalseNegativesHash(t *testing.T) {
+	rng := xrand.New(1)
+	f := New(10000, 14, 10)
+	vals := make([]uint64, 10000)
+	for i := range vals {
+		vals[i] = rng.Uint64() >> 3 // 61-bit, like MinHash values
+		f.AddHash(vals[i])
+	}
+	for _, v := range vals {
+		if !f.MayContainHash(v) {
+			t.Fatalf("false negative for inserted value %d", v)
+		}
+	}
+}
+
+func TestFalsePositiveRateHash(t *testing.T) {
+	rng := xrand.New(2)
+	f := New(10000, 14, 10)
+	for i := 0; i < 10000; i++ {
+		f.AddHash(rng.Uint64())
+	}
+	fp := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if f.MayContainHash(rng.Uint64()) {
+			fp++
+		}
+	}
+	// 14 bits/entry with k=10 targets ~0.1%; the power-of-two rounding can
+	// only widen the array, so 1% is a generous ceiling.
+	if rate := float64(fp) / trials; rate > 0.01 {
+		t.Fatalf("false positive rate %.4f > 0.01", rate)
+	}
+}
+
+func TestStringsNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10, 7)
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = string(rune('a'+i%26)) + "-key-" + string(rune('0'+i%10)) + string(rune('A'+i%7))
+		f.AddString(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContainString(k) {
+			t.Fatalf("false negative for inserted key %q", k)
+		}
+	}
+	if !f.MayContainHash(HashString(keys[0])) {
+		t.Fatal("MayContainHash(HashString) disagrees with MayContainString")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(3)
+	f := New(500, 14, 10)
+	vals := make([]uint64, 500)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+		f.AddHash(vals[i])
+	}
+	enc := f.AppendBinary(nil)
+	enc = append(enc, 0xAB) // trailing byte must survive
+	g, rest, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0] != 0xAB {
+		t.Fatalf("trailing bytes mishandled: %v", rest)
+	}
+	if g.K() != f.K() || g.Bits() != f.Bits() {
+		t.Fatalf("shape changed: (%d, %d) vs (%d, %d)", g.K(), g.Bits(), f.K(), f.Bits())
+	}
+	for _, v := range vals {
+		if !g.MayContainHash(v) {
+			t.Fatalf("decoded filter lost value %d", v)
+		}
+	}
+	if !bytes.Equal(enc[:len(enc)-1], g.AppendBinary(nil)) {
+		t.Fatal("re-encoding differs from original encoding")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	good := New(10, 10, 7)
+	good.AddString("x")
+	enc := good.AppendBinary(nil)
+	cases := map[string][]byte{
+		"short":          enc[:4],
+		"truncated body": enc[:len(enc)-3],
+		"zero k":         append([]byte{0, 0, 0, 0}, enc[4:]...),
+		"non-pow2 words": append([]byte{7, 0, 0, 0, 3, 0, 0, 0}, make([]byte, 24)...),
+	}
+	for name, b := range cases {
+		if _, _, err := Decode(b); err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	build := func() *Filter {
+		f := New(100, 10, 7)
+		for i := 0; i < 100; i++ {
+			f.AddHash(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+		return f
+	}
+	if !bytes.Equal(build().AppendBinary(nil), build().AppendBinary(nil)) {
+		t.Fatal("same insert sequence produced different encodings")
+	}
+}

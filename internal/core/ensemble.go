@@ -406,32 +406,131 @@ func (x *Index) queryInto(dst []uint32, s *queryScratch, sig minhash.Signature, 
 	return dst
 }
 
-// queryPartition probes one partition with the query's tuned (b, r) and
-// appends candidate ids to dst. tStar must already be clamped to [0, 1].
-// Because partitions hold disjoint id sets, distinct partitions of the same
-// query may be probed by different workers (each with its own scratch)
-// without any cross-worker dedup — the visited array only collapses the
-// multiple trees of one forest reporting the same id.
-func (x *Index) queryPartition(dst []uint32, s *queryScratch, pi int, sig minhash.Signature, querySize int, tStar float64) []uint32 {
+// partitionParams resolves the banding decision for one partition: the
+// tuned (b, r) the probe will use, or ok = false when the partition is
+// skipped (empty, or no domain in it can reach the threshold — containment
+// is at most x/q ≤ u/q). tStar must already be clamped to [0, 1].
+func (x *Index) partitionParams(pi int, querySize int, tStar float64) (tune.Params, bool) {
 	p := &x.parts[pi]
 	if p.forest.Len() == 0 {
-		return dst
+		return tune.Params{}, false
 	}
 	q := float64(querySize)
 	u := float64(p.upper)
-	// No domain in this partition can reach the threshold when u/q < t*:
-	// containment is at most x/q ≤ u/q.
 	if tStar > 0 && u/q < tStar {
-		return dst
+		return tune.Params{}, false
 	}
-	params := x.opt.Optimize(u, q, tStar)
-	p.forest.Query(sig, params.B, params.R, func(id uint32) bool {
+	return x.opt.Optimize(u, q, tStar), true
+}
+
+// probePartition probes one partition with the given banding parameters and
+// appends candidate ids to dst. Because partitions hold disjoint id sets,
+// distinct partitions of the same query may be probed by different workers
+// (each with its own scratch) without any cross-worker dedup — the visited
+// array only collapses the multiple trees of one forest reporting the same
+// id.
+func (x *Index) probePartition(dst []uint32, s *queryScratch, pi int, sig minhash.Signature, params tune.Params) []uint32 {
+	x.parts[pi].forest.Query(sig, params.B, params.R, func(id uint32) bool {
 		if s.seen.TryMark(id) {
 			dst = append(dst, id)
 		}
 		return true
 	})
 	return dst
+}
+
+// queryPartition probes one partition with the query's tuned (b, r) and
+// appends candidate ids to dst. tStar must already be clamped to [0, 1].
+func (x *Index) queryPartition(dst []uint32, s *queryScratch, pi int, sig minhash.Signature, querySize int, tStar float64) []uint32 {
+	params, ok := x.partitionParams(pi, querySize, tStar)
+	if !ok {
+		return dst
+	}
+	return x.probePartition(dst, s, pi, sig, params)
+}
+
+// PlanPartitions appends one tune.Params per partition to dst: the exact
+// banding decision the direct query path would make for (querySize, tStar),
+// with the zero Params (B == 0) marking partitions the path skips. The
+// tuner is consulted in one batch, so building a plan takes its cache locks
+// once instead of once per partition. A plan depends only on (querySize,
+// tStar) and the immutable partition bounds, which is what lets layered
+// planners (internal/live) cache plans across queries and replay them with
+// QueryIDsPlannedAppend for results byte-identical to QueryIDsAppend.
+func (x *Index) PlanPartitions(dst []tune.Params, querySize int, tStar float64) []tune.Params {
+	tStar = clampThreshold(tStar)
+	base := len(dst)
+	q := float64(querySize)
+	var us []float64
+	var live []int
+	for pi := range x.parts {
+		dst = append(dst, tune.Params{})
+		p := &x.parts[pi]
+		if p.forest.Len() == 0 {
+			continue
+		}
+		u := float64(p.upper)
+		if tStar > 0 && u/q < tStar {
+			continue
+		}
+		us = append(us, u)
+		live = append(live, base+pi)
+	}
+	if len(us) > 0 {
+		params := make([]tune.Params, len(us))
+		x.opt.OptimizeBatch(us, q, tStar, params)
+		for i, di := range live {
+			dst[di] = params[i]
+		}
+	}
+	return dst
+}
+
+// QueryIDsPlannedAppend is QueryIDsAppend with the per-partition banding
+// decisions precomputed by PlanPartitions on this same index: partitions
+// whose plan entry is the zero Params are skipped, the rest are probed with
+// the planned (b, r). Given a plan built for (querySize, tStar), the
+// appended ids are byte-identical to QueryIDsAppend(dst, sig, querySize,
+// tStar). The plan must have exactly one entry per partition.
+func (x *Index) QueryIDsPlannedAppend(dst []uint32, sig minhash.Signature, plan []tune.Params) ([]uint32, error) {
+	if x.dirty {
+		return dst, ErrDirty
+	}
+	if len(plan) != len(x.parts) {
+		return dst, fmt.Errorf("core: plan covers %d partitions, index has %d", len(plan), len(x.parts))
+	}
+	if len(x.keys) == 0 {
+		return dst, nil
+	}
+	s := x.acquireScratch()
+	for pi, p := range plan {
+		if p.B == 0 {
+			continue
+		}
+		dst = x.probePartition(dst, s, pi, sig, p)
+	}
+	x.releaseScratch(s)
+	return dst, nil
+}
+
+// EachTreeLeading invokes fn once per non-empty (partition, tree) pair with
+// the tree's sorted column of leading hash values — a view that must not be
+// mutated. Any probe of that tree at any depth r ≥ 1 matches an entry only
+// if the query's leading value occurs in the column, so segment-level
+// planners (internal/live) build their collision Bloom filters from exactly
+// these columns.
+func (x *Index) EachTreeLeading(fn func(tree int, col []uint64)) {
+	for i := range x.parts {
+		f := x.parts[i].forest
+		if f.Len() == 0 {
+			continue
+		}
+		for t := 0; t < f.BMax(); t++ {
+			if col := f.TreeLeadingColumn(t); len(col) > 0 {
+				fn(t, col)
+			}
+		}
+	}
 }
 
 // Query returns the keys of all candidate domains for the query signature.

@@ -47,17 +47,8 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) ([]TopKResult
 	if len(sig) > x.opts.NumHash {
 		sig = sig[:x.opts.NumHash]
 	}
-	// One scratch generation spans the whole ladder walk: queryInto's
-	// visited stamps persist across rungs, so each lower threshold appends
-	// only ids not already collected by a higher one.
 	s := x.acquireScratch()
-	ids := s.ids[:0]
-	for _, tStar := range topKThresholds {
-		ids = x.queryInto(ids, s, sig, querySize, tStar)
-		if len(ids) >= k {
-			break
-		}
-	}
+	ids := x.topKIDs(s.ids[:0], s, sig, querySize, k)
 	results := make([]TopKResult, 0, len(ids))
 	for _, id := range ids {
 		est := sig.Containment(x.sigOf(id), float64(querySize), float64(x.sizes[id]))
@@ -75,6 +66,42 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) ([]TopKResult
 		results = results[:k]
 	}
 	return results, nil
+}
+
+// topKIDs walks the threshold ladder, appending candidate ids to dst until
+// at least k are collected or the ladder is exhausted. One scratch
+// generation spans the whole walk: queryInto's visited stamps persist
+// across rungs, so each lower threshold appends only ids not already
+// collected by a higher one.
+func (x *Index) topKIDs(dst []uint32, s *queryScratch, sig minhash.Signature, querySize, k int) []uint32 {
+	for _, tStar := range topKThresholds {
+		dst = x.queryInto(dst, s, sig, querySize, tStar)
+		if len(dst) >= k {
+			break
+		}
+	}
+	return dst
+}
+
+// QueryTopKIDs appends the candidate ids QueryTopK would rank — the
+// ladder-walk collection, unscored and unsorted — to dst. Layered callers
+// (internal/live) use it to gather at least k candidates per segment, then
+// score and merge across segments themselves with Key, Size and Signature.
+// It returns ErrDirty if the index has Adds not yet folded in by Reindex.
+func (x *Index) QueryTopKIDs(dst []uint32, sig minhash.Signature, querySize, k int) ([]uint32, error) {
+	if x.dirty {
+		return dst, ErrDirty
+	}
+	if k <= 0 || querySize <= 0 || len(x.keys) == 0 {
+		return dst, nil
+	}
+	if len(sig) > x.opts.NumHash {
+		sig = sig[:x.opts.NumHash]
+	}
+	s := x.acquireScratch()
+	dst = x.topKIDs(dst, s, sig, querySize, k)
+	x.releaseScratch(s)
+	return dst, nil
 }
 
 // sigOf returns the stored signature of an indexed domain.

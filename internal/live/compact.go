@@ -3,6 +3,7 @@ package live
 import (
 	"sort"
 
+	"lshensemble/internal/bloom"
 	"lshensemble/internal/core"
 )
 
@@ -83,7 +84,7 @@ func (x *Index) Compact() {
 	if len(sn.segs) == 0 || (len(sn.segs) == 1 && len(sn.tombs) == 0) {
 		return
 	}
-	x.mergeSegments(sn.segs, true)
+	x.mergeSegments(sn.segs)
 }
 
 // sealIfFull seals when the buffer has crossed the threshold.
@@ -125,7 +126,9 @@ func (x *Index) seal(min int) bool {
 			// the buffer as-is keeps the index correct (just unsealed).
 			return false
 		}
-		seg = &segment{idx: idx, seqs: seqs}
+		// The planner metadata is derived outside the writer lock, like the
+		// build itself: only the pointer swap below blocks writers.
+		seg = &segment{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}
 	}
 
 	x.mu.Lock()
@@ -147,7 +150,8 @@ func (x *Index) seal(min int) bool {
 	if seg != nil {
 		segs = append(append(make([]*segment, 0, len(cur.segs)+1), cur.segs...), seg)
 	}
-	x.snap.Store(&snapshot{segs: segs, buf: back, tombs: gcTombs(cur.tombs, segs, back), bufMax: bufMax})
+	next := &snapshot{segs: segs, buf: back, tombs: gcTombs(cur.tombs, segs, back), bufMax: bufMax}
+	x.snap.Store(successor(next, cur, true))
 	x.mu.Unlock()
 	x.seals.Add(1)
 	return true
@@ -169,16 +173,17 @@ func (x *Index) mergeIfCrowded() bool {
 			b = i
 		}
 	}
-	x.mergeSegments([]*segment{sn.segs[a], sn.segs[b]}, false)
+	x.mergeSegments([]*segment{sn.segs[a], sn.segs[b]})
 	return true
 }
 
 // mergeSegments rebuilds the given segments (identified by pointer in the
 // current snapshot) into at most one new segment holding their surviving
-// entries, and publishes the swap. exactGC selects the per-key tombstone
-// sweep (full compaction) over the cheap global-minimum one (incremental
-// merges). The caller must hold compactMu.
-func (x *Index) mergeSegments(victims []*segment, exactGC bool) {
+// entries, and publishes the swap. Every merge runs the exact per-key
+// tombstone sweep (the segment key Blooms make it cheap — see
+// exactGCTombs), so incremental merges retire tombstones as precisely as
+// full compaction does. The caller must hold compactMu.
+func (x *Index) mergeSegments(victims []*segment) {
 	sn := x.snap.Load()
 	// Gather survivors in ascending seq order: collect per segment (each is
 	// already ascending), then merge-sort the runs.
@@ -229,7 +234,7 @@ func (x *Index) mergeSegments(victims []*segment, exactGC bool) {
 		if err != nil {
 			return // unreachable: inputs came from validated segments
 		}
-		merged = &segment{idx: idx, seqs: seqs}
+		merged = &segment{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}
 	}
 
 	x.mu.Lock()
@@ -248,13 +253,9 @@ func (x *Index) mergeSegments(victims []*segment, exactGC bool) {
 		segs = append(segs, merged)
 		sort.Slice(segs, func(i, j int) bool { return segs[i].minSeq() < segs[j].minSeq() })
 	}
-	tombs := cur.tombs
-	if exactGC {
-		tombs = exactGCTombs(tombs, segs, cur.buf)
-	} else {
-		tombs = gcTombs(tombs, segs, cur.buf)
-	}
-	x.snap.Store(&snapshot{segs: segs, buf: cur.buf, tombs: tombs, bufMax: cur.bufMax})
+	tombs := exactGCTombs(cur.tombs, segs, cur.buf)
+	next := &snapshot{segs: segs, buf: cur.buf, tombs: tombs, bufMax: cur.bufMax}
+	x.snap.Store(successor(next, cur, true))
 	x.mu.Unlock()
 	x.merges.Add(1)
 }
@@ -304,10 +305,12 @@ func gcTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[string]u
 
 // exactGCTombs keeps only the tombstones that still shadow a physically
 // present entry: (key, s) survives iff some remaining entry of that key has
-// seq < s. It scans every entry, so it runs only on full compaction, where
-// the merged segment is freshly purged and the sweep usually empties the
-// map entirely (writes racing the compaction are the exception and stay
-// correctly shadowed).
+// seq < s. It runs on every merge; the per-segment key Bloom filters keep
+// the sweep cheap by skipping segments that definitely hold none of the
+// tombstoned keys (a false positive only costs one segment scan, never a
+// wrongly dropped tombstone). Writes racing the merge stay correctly
+// shadowed: their tombstones name entries that still exist, so they are
+// kept.
 func exactGCTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[string]uint64 {
 	if len(tombs) == 0 {
 		return tombs
@@ -322,6 +325,9 @@ func exactGCTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[str
 		}
 	}
 	for _, seg := range segs {
+		if seg.meta != nil && seg.meta.keys != nil && !mayShadowAny(seg.meta.keys, tombs) {
+			continue
+		}
 		for id := 0; id < seg.idx.Len(); id++ {
 			keep(seg.idx.Key(uint32(id)), seg.seqs[id])
 		}
@@ -330,4 +336,15 @@ func exactGCTombs(tombs map[string]uint64, segs []*segment, buf []entry) map[str
 		keep(buf[i].rec.Key, buf[i].seq)
 	}
 	return next
+}
+
+// mayShadowAny reports whether any tombstoned key might occur in a segment
+// whose key Bloom filter is f.
+func mayShadowAny(f *bloom.Filter, tombs map[string]uint64) bool {
+	for k := range tombs {
+		if f.MayContainString(k) {
+			return true
+		}
+	}
+	return false
 }

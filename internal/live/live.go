@@ -35,10 +35,59 @@
 // swap. Compact runs the whole pipeline to one segment and is
 // equivalence-preserving: the result answers queries exactly like a fresh
 // core.Build over the surviving records (asserted by the package tests).
+//
+// # Query planning
+//
+// Every sealed segment carries planner metadata built at seal/merge time
+// (segMeta): its domain-size range, its largest partition upper bound, a
+// Bloom filter over its keys, and a Bloom filter over the leading
+// signature values of every forest tree. A query consults the metadata
+// before probing:
+//
+//   - range pruning: the (b, r) banding test is planned per partition
+//     (core.PlanPartitions); when every partition of a segment is ruled
+//     out by the containment bound u/|Q| < t*, the segment is skipped
+//     without touching its forest;
+//   - Bloom pruning: a forest probe at depth ≥ 1 can only match when the
+//     query's per-tree leading signature value occurs in that segment, so
+//     a miss in the leading-value Bloom skips the segment with zero false
+//     negatives;
+//   - top-k ordering: QueryTopK visits segments largest-bound-first and
+//     stops once the worst kept score provably beats any segment still
+//     unvisited (the containment upper bound from its partition bounds).
+//
+// Pruning is conservative by construction — a segment is skipped only
+// when it provably contributes nothing — so planned results are
+// byte-identical to a full scan (asserted by the package tests).
+// Options.DisablePruning restores the full scan for A/B measurement.
+//
+// # Caches and generation coherence
+//
+// Snapshots carry two monotone generation counters: gen bumps on every
+// publish, segGen only when the sealed-segment set changes (seal, merge,
+// compact — Add/Delete republish with the same segments). They key two
+// caches:
+//
+//   - a plan cache (segGen-keyed) memoizes the tuned per-segment (b, r)
+//     plans for a (query size, threshold) pair;
+//   - a bounded set-associative result cache (gen-keyed) memoizes full
+//     query answers; a hit appends the cached keys and allocates nothing.
+//
+// Readers validate one generation number against the snapshot they
+// loaded — no locks on the query path, and a cache entry can never
+// outlive the snapshot shape it was computed against. Tombstone-only
+// changes bump gen, so result-cache coherence holds even though the
+// segment set (and the plan cache) is unchanged.
+//
+// Snapshot persistence is versioned: the current format (v2) carries the
+// planner metadata inline; v1 files written before the planner still load,
+// rebuilding the metadata from the decoded segments (see save.go).
 package live
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -65,6 +114,24 @@ type Options struct {
 	// merging then happen only through explicit Flush/Compact calls.
 	// Tests and single-shot tools use this to control timing.
 	ManualCompaction bool
+
+	// DisablePruning turns off the segment-level query planner (size-range
+	// and Bloom segment pruning, plus top-k early termination); every query
+	// then probes every sealed segment, as before the planner existed.
+	// Pruned and unpruned queries return identical results — the knob
+	// exists for A/B measurement.
+	DisablePruning bool
+
+	// DisablePlanCache turns off the per-(querySize, threshold) plan cache;
+	// the per-segment banding decisions are then recomputed on every query.
+	// A/B measurement knob, like DisablePruning.
+	DisablePlanCache bool
+
+	// ResultCacheSize bounds the exact-result cache in entries: 0 selects
+	// the default (1024), a negative value disables the cache. Cached
+	// results are only served against the exact snapshot generation they
+	// were computed on, so any Add/Delete/seal/merge invalidates them all.
+	ResultCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSegments == 0 {
 		o.MaxSegments = 8
+	}
+	if o.ResultCacheSize == 0 {
+		o.ResultCacheSize = defaultResultCacheSize
 	}
 	return o
 }
@@ -92,10 +162,12 @@ type entry struct {
 
 // segment is one sealed, immutable slice of the corpus: a frozen core.Index
 // plus the per-entry sequence numbers (aligned with the core ids, which
-// core.Build assigns in record order). Entries are in ascending seq order.
+// core.Build assigns in record order) and the planner metadata derived from
+// the index (see planner.go). Entries are in ascending seq order.
 type segment struct {
 	idx  *core.Index
 	seqs []uint64
+	meta *segMeta
 }
 
 func (s *segment) minSeq() uint64 { return s.seqs[0] }
@@ -113,6 +185,35 @@ type snapshot struct {
 	// largest *live* buffered size when the max entry is tombstoned; a too
 	// large bound is merely conservative (Eq. 7 never loses candidates).
 	bufMax int
+
+	// gen increments on EVERY publish (Add, Delete, seal, merge): it keys
+	// the result cache, so a cached result is served only against the exact
+	// state it was computed on. segGen increments only when the sealed
+	// segment set changes (seal, merge): it keys the plan cache, whose
+	// entries depend on segment layout but not on buffered writes.
+	gen    uint64
+	segGen uint64
+
+	// topkOrder holds segment indices sorted by meta.maxBound descending —
+	// the visit order QueryTopK uses for early termination. Recomputed only
+	// when segGen bumps; Add/Delete publishes share the previous slice.
+	topkOrder []int
+}
+
+// successor stamps next as the publication following cur: generations
+// advance (segGen only when the segment set changed) and the top-k visit
+// order is recomputed or inherited accordingly. Callers must hold x.mu so
+// generations are strictly monotonic.
+func successor(next, cur *snapshot, segsChanged bool) *snapshot {
+	next.gen = cur.gen + 1
+	if segsChanged {
+		next.segGen = cur.segGen + 1
+		next.topkOrder = topkSegOrder(next.segs)
+	} else {
+		next.segGen = cur.segGen
+		next.topkOrder = cur.topkOrder
+	}
+	return next
 }
 
 // alive reports whether an entry of the given key and sequence number is
@@ -144,6 +245,27 @@ type Index struct {
 	domains atomic.Int64  // live domain count (= len(keySeq), readable lock-free)
 	seals   atomic.Uint64 // completed seal operations
 	merges  atomic.Uint64 // completed merge operations
+
+	// Plan cache (planner.go): generation-pinned table of per-segment
+	// banding decisions. planMu serializes publishes; reads are lock-free.
+	plans  atomic.Pointer[planTable]
+	planMu sync.Mutex
+
+	// Result cache (planner.go): set-associative exact-result slots, nil
+	// when disabled. rcMask selects the set; rcClock stamps approximate LRU.
+	rc      []atomic.Pointer[resultEntry]
+	rcMask  uint64
+	rcClock atomic.Uint64
+
+	// Planner observability, surfaced through Stats.
+	segProbed      atomic.Uint64 // segments actually probed by queries
+	segRangePruned atomic.Uint64 // segments skipped: every partition ruled out by size
+	segBloomPruned atomic.Uint64 // segments skipped: no leading value can collide
+	planHits       atomic.Uint64
+	planMisses     atomic.Uint64
+	resHits        atomic.Uint64
+	resMisses      atomic.Uint64
+	topkEarlyExits atomic.Uint64 // QueryTopK calls that stopped before the last segment
 
 	scratch sync.Pool // *queryScratch
 
@@ -182,6 +304,9 @@ func Build(records []core.Record, opts Options) (*Index, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if opts.ResultCacheSize > 0 {
+		x.rc, x.rcMask = newResultCache(opts.ResultCacheSize)
+	}
 	sn := &snapshot{}
 	if len(records) > 0 {
 		for _, r := range records {
@@ -211,10 +336,12 @@ func Build(records []core.Record, opts Options) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		sn.segs = []*segment{{idx: idx, seqs: seqs}}
+		sn.segs = []*segment{{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}}
 		x.seq = uint64(len(records))
 		x.domains.Store(int64(len(recs)))
 	}
+	sn.gen, sn.segGen = 1, 1
+	sn.topkOrder = topkSegOrder(sn.segs)
 	x.snap.Store(sn)
 	if !opts.ManualCompaction {
 		go x.compactor()
@@ -278,7 +405,7 @@ func (x *Index) Add(r core.Record) (replaced bool, err error) {
 	if r.Size > bufMax {
 		bufMax = r.Size
 	}
-	next := &snapshot{segs: cur.segs, buf: x.bufBack, tombs: tombs, bufMax: bufMax}
+	next := successor(&snapshot{segs: cur.segs, buf: x.bufBack, tombs: tombs, bufMax: bufMax}, cur, false)
 	x.snap.Store(next)
 	full := len(next.buf) >= x.opts.SealThreshold
 	x.mu.Unlock()
@@ -304,7 +431,7 @@ func (x *Index) Delete(key string) bool {
 	delete(x.keySeq, key)
 	x.domains.Add(-1)
 	cur := x.snap.Load()
-	next := &snapshot{segs: cur.segs, buf: cur.buf, tombs: cloneTombs(cur.tombs, key, seq), bufMax: cur.bufMax}
+	next := successor(&snapshot{segs: cur.segs, buf: cur.buf, tombs: cloneTombs(cur.tombs, key, seq), bufMax: cur.bufMax}, cur, false)
 	x.snap.Store(next)
 	x.mu.Unlock()
 	return true
@@ -342,34 +469,101 @@ func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []str
 
 // QueryAppend is Query appending into dst (which may be nil). A serving
 // loop reusing dst runs allocation-free in steady state, matching the
-// immutable index's QueryIDsAppend path.
+// immutable index's QueryIDsAppend path: both the result-cache hit path and
+// the planned fan-out (with a warm plan cache) append without allocating.
 func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, tStar float64) []string {
 	if querySize <= 0 {
 		return dst
 	}
-	sn := x.snap.Load()
-	s := x.acquireScratch()
-	for _, seg := range sn.segs {
-		dst = x.appendSegmentMatches(dst, s, sn, seg, sig, querySize, tStar)
+	if len(sig) > x.opts.NumHash {
+		sig = sig[:x.opts.NumHash]
 	}
-	x.releaseScratch(s)
+	tStar = clampThreshold(tStar)
+	sn := x.snap.Load()
+	var h uint64
+	tBits := math.Float64bits(tStar)
+	if x.rc != nil {
+		h = queryHash(sig, querySize, tBits)
+		if e := x.lookupResult(sn, sig, querySize, tBits, h); e != nil {
+			x.resHits.Add(1)
+			return append(dst, e.keys...)
+		}
+		x.resMisses.Add(1)
+	}
+	base := len(dst)
+	dst = x.querySnapshot(dst, sn, sig, querySize, tStar)
+	if x.rc != nil {
+		x.storeResult(sn, sig, querySize, tBits, h, dst[base:])
+	}
+	return dst
+}
+
+func clampThreshold(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// querySnapshot runs the planned fan-out over one snapshot: resolve the
+// plan for (querySize, tStar), probe only the segments the plan and the
+// Bloom pre-test cannot rule out, then scan the buffer. With pruning
+// disabled it degrades to the plain probe-everything loop. sig and tStar
+// must already be clamped.
+func (x *Index) querySnapshot(dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) []string {
+	if len(sn.segs) > 0 {
+		s := x.acquireScratch()
+		if x.opts.DisablePruning {
+			for _, seg := range sn.segs {
+				dst = x.appendSegmentMatches(dst, s, sn, seg, sig, querySize, tStar)
+			}
+		} else {
+			plan := x.planFor(sn, querySize, tStar)
+			for si, seg := range sn.segs {
+				pp := plan.params[si]
+				if pp == nil {
+					x.segRangePruned.Add(1)
+					continue
+				}
+				if !seg.meta.mayCollide(sig, x.opts.RMax) {
+					x.segBloomPruned.Add(1)
+					continue
+				}
+				x.segProbed.Add(1)
+				// A sealed segment is never dirty and the plan matches its
+				// partition count, so the error path is unreachable.
+				s.ids, _ = seg.idx.QueryIDsPlannedAppend(s.ids[:0], sig, pp)
+				dst = appendLiveKeys(dst, sn, seg, s.ids)
+			}
+		}
+		x.releaseScratch(s)
+	}
 	return x.appendBufferMatches(dst, sn, sig, querySize, tStar)
 }
 
-// appendSegmentMatches probes one sealed segment and appends the keys of
-// its live candidates.
+// appendSegmentMatches probes one sealed segment the pre-planner way and
+// appends the keys of its live candidates (the DisablePruning path).
 func (x *Index) appendSegmentMatches(dst []string, s *queryScratch, sn *snapshot, seg *segment,
 	sig minhash.Signature, querySize int, tStar float64) []string {
 	// A sealed segment can never be dirty, so the error is impossible; the
 	// empty result on that unreachable path is still safe.
 	s.ids, _ = seg.idx.QueryIDsAppend(s.ids[:0], sig, querySize, tStar)
+	return appendLiveKeys(dst, sn, seg, s.ids)
+}
+
+// appendLiveKeys appends the keys of the candidate ids that survive the
+// snapshot's tombstones.
+func appendLiveKeys(dst []string, sn *snapshot, seg *segment, ids []uint32) []string {
 	if len(sn.tombs) == 0 {
-		for _, id := range s.ids {
+		for _, id := range ids {
 			dst = append(dst, seg.idx.Key(id))
 		}
 		return dst
 	}
-	for _, id := range s.ids {
+	for _, id := range ids {
 		if key := seg.idx.Key(id); sn.alive(key, seg.seqs[id]) {
 			dst = append(dst, key)
 		}
@@ -438,36 +632,176 @@ func bandsCollide(a, b minhash.Signature, bands, r, rMax int) bool {
 // goroutines through the core batch engine, then scanning the buffer. Rows
 // are in query order; each row holds the keys of the query's live
 // candidates. Like Query it is lock-free against writers and the compactor.
+//
+// The batch path shares the planner with Query: result-cache hits answer a
+// query outright, and each remaining query is dispatched only to the
+// segments its plan and Bloom pre-test cannot rule out, so a segment's
+// batch shrinks to the queries that can actually collide there. Rows are
+// identical to the unplanned fan-out either way.
 func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 	rows := make([][]string, len(queries))
 	if len(queries) == 0 {
 		return rows
 	}
 	sn := x.snap.Load()
-	var res core.BatchResults
-	for _, seg := range sn.segs {
-		if err := seg.idx.QueryBatchInto(&res, queries, workers); err != nil {
-			continue // unreachable: sealed segments are never dirty
+
+	// Normalize once (clamped signatures and thresholds), resolve cache
+	// hits, and keep the indices still needing the fan-out.
+	norm := make([]core.BatchQuery, len(queries))
+	tBitsOf := make([]uint64, len(queries))
+	hashOf := make([]uint64, len(queries))
+	pending := make([]int, 0, len(queries))
+	for i := range queries {
+		q := queries[i]
+		if q.Size <= 0 {
+			continue // invalid size → empty row, matching the core batch contract
 		}
-		for i := range queries {
-			for _, id := range res.Row(i) {
-				key := seg.idx.Key(id)
-				if len(sn.tombs) == 0 || sn.alive(key, seg.seqs[id]) {
-					rows[i] = append(rows[i], key)
-				}
+		if len(q.Sig) > x.opts.NumHash {
+			q.Sig = q.Sig[:x.opts.NumHash]
+		}
+		q.Threshold = clampThreshold(q.Threshold)
+		norm[i] = q
+		tBitsOf[i] = math.Float64bits(q.Threshold)
+		if x.rc != nil {
+			hashOf[i] = queryHash(q.Sig, q.Size, tBitsOf[i])
+			if e := x.lookupResult(sn, q.Sig, q.Size, tBitsOf[i], hashOf[i]); e != nil {
+				x.resHits.Add(1)
+				rows[i] = append(rows[i], e.keys...)
+				continue
 			}
+			x.resMisses.Add(1)
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return rows
+	}
+
+	// Per-query plans (shared through the plan cache, so a batch of
+	// repeated shapes resolves them once).
+	var planOf []*segPlan
+	if !x.opts.DisablePruning {
+		planOf = make([]*segPlan, len(queries))
+		for _, qi := range pending {
+			planOf[qi] = x.planFor(sn, norm[qi].Size, norm[qi].Threshold)
 		}
 	}
-	if len(sn.buf) > 0 {
-		for i := range queries {
-			q := &queries[i]
-			if q.Size <= 0 {
-				continue // invalid size → empty row, matching the core batch contract
+
+	var res core.BatchResults
+	sub := make([]core.BatchQuery, 0, len(pending))
+	subIdx := make([]int, 0, len(pending))
+	for si, seg := range sn.segs {
+		sub, subIdx = sub[:0], subIdx[:0]
+		for _, qi := range pending {
+			if planOf != nil {
+				if planOf[qi].params[si] == nil {
+					x.segRangePruned.Add(1)
+					continue
+				}
+				if !seg.meta.mayCollide(norm[qi].Sig, x.opts.RMax) {
+					x.segBloomPruned.Add(1)
+					continue
+				}
+				x.segProbed.Add(1)
 			}
-			rows[i] = x.appendBufferMatches(rows[i], sn, q.Sig, q.Size, q.Threshold)
+			sub = append(sub, norm[qi])
+			subIdx = append(subIdx, qi)
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		if err := seg.idx.QueryBatchInto(&res, sub, workers); err != nil {
+			continue // unreachable: sealed segments are never dirty
+		}
+		for j, qi := range subIdx {
+			rows[qi] = appendLiveKeys(rows[qi], sn, seg, res.Row(j))
+		}
+	}
+	for _, qi := range pending {
+		if len(sn.buf) > 0 {
+			rows[qi] = x.appendBufferMatches(rows[qi], sn, norm[qi].Sig, norm[qi].Size, norm[qi].Threshold)
+		}
+		if x.rc != nil {
+			x.storeResult(sn, norm[qi].Sig, norm[qi].Size, tBitsOf[qi], hashOf[qi], rows[qi])
 		}
 	}
 	return rows
+}
+
+// QueryTopK returns (up to) k live domains ranked by estimated containment
+// of the query, merged across every sealed segment and the buffer (see
+// core.Index.QueryTopK for the estimation semantics). Segments are visited
+// in descending order of their largest partition bound: once k collected
+// results all score strictly above the containment cap of every remaining
+// segment, those segments are skipped — they provably cannot alter the
+// top k. Like Query it is lock-free against writers and the compactor.
+func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKResult {
+	if k <= 0 || querySize <= 0 {
+		return nil
+	}
+	if len(sig) > x.opts.NumHash {
+		sig = sig[:x.opts.NumHash]
+	}
+	sn := x.snap.Load()
+	q := float64(querySize)
+	// Tombstoned candidates are filtered after collection, so ask each
+	// segment for enough ids to survive the worst-case filtering.
+	need := k + len(sn.tombs)
+	var results []core.TopKResult
+	kth := func() float64 { return results[k-1].EstContainment }
+	rank := func() {
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].EstContainment != results[j].EstContainment {
+				return results[i].EstContainment > results[j].EstContainment
+			}
+			return results[i].Key < results[j].Key
+		})
+		if len(results) > k {
+			results = results[:k]
+		}
+	}
+	s := x.acquireScratch()
+	terminated := false
+	for _, si := range sn.topkOrder {
+		seg := sn.segs[si]
+		// Strict >: a remaining segment whose cap ties the current k-th
+		// score could still win its tie-break, so it is only skippable when
+		// even its best possible estimate falls short.
+		if !x.opts.DisablePruning && len(results) >= k && kth() > containmentBound(seg.meta.maxBound, q) {
+			terminated = true
+			break
+		}
+		s.ids, _ = seg.idx.QueryTopKIDs(s.ids[:0], sig, querySize, need)
+		for _, id := range s.ids {
+			key := seg.idx.Key(id)
+			if !sn.alive(key, seg.seqs[id]) {
+				continue
+			}
+			est := sig.Containment(seg.idx.Signature(id), q, float64(seg.idx.Size(id)))
+			results = append(results, core.TopKResult{Key: key, EstContainment: est})
+		}
+		rank()
+	}
+	x.releaseScratch(s)
+	if len(sn.buf) > 0 {
+		if !x.opts.DisablePruning && len(results) >= k && kth() > containmentBound(sn.bufMax, q) {
+			terminated = true
+		} else {
+			for i := range sn.buf {
+				e := &sn.buf[i]
+				if !sn.alive(e.rec.Key, e.seq) {
+					continue
+				}
+				est := sig.Containment(e.rec.Sig, q, float64(e.rec.Size))
+				results = append(results, core.TopKResult{Key: e.rec.Key, EstContainment: est})
+			}
+			rank()
+		}
+	}
+	if terminated {
+		x.topkEarlyExits.Add(1)
+	}
+	return results
 }
 
 // Stats is a point-in-time summary of the index's shape.
@@ -487,6 +821,48 @@ type Stats struct {
 	// Seals and Merges count completed compactor operations.
 	Seals  uint64 `json:"seals"`
 	Merges uint64 `json:"merges"`
+	// SegmentDetail describes every sealed segment's planner metadata, in
+	// the same order as Segments.
+	SegmentDetail []SegmentStats `json:"segment_detail,omitempty"`
+	// Planner aggregates the query planner's pruning and cache counters
+	// since the index was created.
+	Planner PlannerStats `json:"planner"`
+}
+
+// SegmentStats describes one sealed segment.
+type SegmentStats struct {
+	// Entries is the physical entry count (tombstoned entries included).
+	Entries int `json:"entries"`
+	// MinSize and MaxSize are the smallest and largest domain cardinality.
+	MinSize int `json:"min_size"`
+	MaxSize int `json:"max_size"`
+	// MaxBound is the largest partition upper bound — the size the planner
+	// prunes and orders by.
+	MaxBound int `json:"max_bound"`
+	// BloomBytes is the footprint of the segment's planner Bloom filters.
+	BloomBytes int `json:"bloom_bytes"`
+}
+
+// PlannerStats aggregates the planner's lifetime counters. Segment
+// decisions count once per (query, segment) pair.
+type PlannerStats struct {
+	// SegmentsProbed / SegmentsRangePruned / SegmentsBloomPruned partition
+	// the planner's per-segment decisions: probed, skipped because every
+	// partition was ruled out by size, or skipped by the collision Bloom
+	// pre-test.
+	SegmentsProbed      uint64 `json:"segments_probed"`
+	SegmentsRangePruned uint64 `json:"segments_range_pruned"`
+	SegmentsBloomPruned uint64 `json:"segments_bloom_pruned"`
+	// PlanHits / PlanMisses count plan-cache lookups.
+	PlanHits   uint64 `json:"plan_hits"`
+	PlanMisses uint64 `json:"plan_misses"`
+	// ResultHits / ResultMisses count result-cache lookups (zero when the
+	// cache is disabled).
+	ResultHits   uint64 `json:"result_hits"`
+	ResultMisses uint64 `json:"result_misses"`
+	// TopKEarlyExits counts QueryTopK calls that stopped before visiting
+	// every segment.
+	TopKEarlyExits uint64 `json:"topk_early_exits"`
 }
 
 // Stats returns a consistent snapshot summary without blocking writers.
@@ -499,9 +875,29 @@ func (x *Index) Stats() Stats {
 		Tombstones: len(sn.tombs),
 		Seals:      x.seals.Load(),
 		Merges:     x.merges.Load(),
+		Planner: PlannerStats{
+			SegmentsProbed:      x.segProbed.Load(),
+			SegmentsRangePruned: x.segRangePruned.Load(),
+			SegmentsBloomPruned: x.segBloomPruned.Load(),
+			PlanHits:            x.planHits.Load(),
+			PlanMisses:          x.planMisses.Load(),
+			ResultHits:          x.resHits.Load(),
+			ResultMisses:        x.resMisses.Load(),
+			TopKEarlyExits:      x.topkEarlyExits.Load(),
+		},
+	}
+	if len(sn.segs) > 0 {
+		st.SegmentDetail = make([]SegmentStats, len(sn.segs))
 	}
 	for i, seg := range sn.segs {
 		st.Segments[i] = seg.idx.Len()
+		st.SegmentDetail[i] = SegmentStats{
+			Entries:    seg.idx.Len(),
+			MinSize:    seg.meta.minSize,
+			MaxSize:    seg.meta.maxSize,
+			MaxBound:   seg.meta.maxBound,
+			BloomBytes: seg.meta.bloomBytes(),
+		}
 	}
 	for _, seg := range sn.segs {
 		if n := len(seg.seqs); n > 0 && seg.seqs[n-1] > st.Seq {

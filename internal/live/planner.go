@@ -1,0 +1,392 @@
+package live
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"lshensemble/internal/bloom"
+	"lshensemble/internal/core"
+	"lshensemble/internal/minhash"
+	"lshensemble/internal/tune"
+)
+
+// This file is the segment-aware query planner. A live index accumulates
+// sealed segments, and the naive fan-out probes every one of them for every
+// query even though most segments cannot contain a candidate. The planner
+// attaches cheap immutable metadata to each segment at seal/merge time and
+// uses it to rule segments out before their forests are touched:
+//
+//   - size-range pruning: the banding decision of every partition of every
+//     segment depends only on (querySize, tStar) and the partition's frozen
+//     size bounds, so it can be made once per (querySize, tStar) — and a
+//     segment all of whose partitions are skipped is never probed at all;
+//   - Bloom pruning: a forest probe of tree t at any depth r ≥ 1 matches an
+//     entry only if the query's leading hash value sig[t·rMax] occurs
+//     exactly in that tree, so a Bloom filter over every tree's leading
+//     column answers "can this segment contain any collision for this
+//     signature?" with no false negatives;
+//   - top-k early termination: the containment estimate is capped by the
+//     candidate's size, so once k results beat the cap of every remaining
+//     (size-descending) segment, those segments cannot contribute.
+//
+// Every prune fires only when the segment provably contributes nothing, so
+// planned queries return byte-identical results to the full fan-out (the
+// package equivalence tests assert this under churn).
+//
+// Two caches sit on top, both coherent with the snapshot's generation
+// counters and lock-free on the read path:
+//
+//   - the plan cache memoizes the per-segment banding decisions per exact
+//     (querySize, tStar) pair, keyed to segGen (bumped only when the
+//     segment set changes — buffered writes don't invalidate plans);
+//   - the result cache memoizes exact query results, keyed to gen (bumped
+//     on every publish — any mutation invalidates all cached results).
+
+// Bloom operating points (see bloom.New). Keys use ~1% false positives:
+// a false positive merely costs one unnecessary tombstone sweep. Leading
+// values use ~0.1%: the collision pre-test is probed once per tree per
+// query, and a false positive costs a full segment probe.
+const (
+	keysBloomBits = 10
+	keysBloomK    = 7
+
+	leadsBloomBits = 14
+	leadsBloomK    = 10
+)
+
+// segMeta is the planner's immutable per-segment metadata, built once when
+// the segment is sealed, merged or loaded, and shared by every snapshot
+// that references the segment.
+type segMeta struct {
+	minSize int // smallest entry cardinality (reporting)
+	maxSize int // largest entry cardinality (reporting)
+
+	// maxBound is the largest upper bound among the segment's non-empty
+	// partitions — the size the threshold conversion (Eq. 7) actually uses.
+	// maxBound/q < t* iff every partition is skipped for (q, t*), and no
+	// candidate's containment estimate can exceed (maxBound/q + 1)/2.
+	maxBound int
+
+	keys  *bloom.Filter // every entry key (tombstone GC skip)
+	leads *bloom.Filter // every tree's leading hash column (collision pre-test)
+}
+
+// buildSegMeta derives the planner metadata from a frozen core index. It is
+// a pure function of the index, so rebuilding it (e.g. when loading a v1
+// snapshot that predates the metadata wire format) reproduces exactly what
+// seal time would have produced.
+func buildSegMeta(idx *core.Index) *segMeta {
+	m := &segMeta{}
+	n := idx.Len()
+	if n == 0 {
+		return m
+	}
+	m.minSize = idx.Size(0)
+	m.maxSize = m.minSize
+	m.keys = bloom.New(n, keysBloomBits, keysBloomK)
+	for id := 0; id < n; id++ {
+		if s := idx.Size(uint32(id)); s < m.minSize {
+			m.minSize = s
+		} else if s > m.maxSize {
+			m.maxSize = s
+		}
+		m.keys.AddString(idx.Key(uint32(id)))
+	}
+	for _, p := range idx.PartitionBounds() {
+		if p.Count > 0 && p.Upper > m.maxBound {
+			m.maxBound = p.Upper
+		}
+	}
+	total := 0
+	idx.EachTreeLeading(func(_ int, col []uint64) { total += len(col) })
+	m.leads = bloom.New(total, leadsBloomBits, leadsBloomK)
+	idx.EachTreeLeading(func(_ int, col []uint64) {
+		for _, v := range col {
+			m.leads.AddHash(v)
+		}
+	})
+	return m
+}
+
+// bloomBytes reports the metadata's filter footprint (for Stats).
+func (m *segMeta) bloomBytes() int {
+	n := 0
+	if m.keys != nil {
+		n += m.keys.SizeBytes()
+	}
+	if m.leads != nil {
+		n += m.leads.SizeBytes()
+	}
+	return n
+}
+
+// mayCollide reports whether the segment can contain any LSH collision for
+// the query signature. Sound with zero false negatives: every forest probe
+// requires an exact match on the probed tree's leading value, and leads
+// holds all of them.
+func (m *segMeta) mayCollide(sig minhash.Signature, rMax int) bool {
+	if m.leads == nil {
+		return false
+	}
+	for off := 0; off < len(sig); off += rMax {
+		if m.leads.MayContainHash(sig[off]) {
+			return true
+		}
+	}
+	return false
+}
+
+// containmentBound is the largest containment estimate any entry of size
+// ≤ xMax can reach against a query of size q: Containment = (x/q+1)·j/(1+j)
+// with j ≤ 1, so the cap is (xMax/q+1)/2, clamped like the estimate itself.
+func containmentBound(xMax int, q float64) float64 {
+	b := (float64(xMax)/q + 1) / 2
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// topkSegOrder returns segment indices sorted by maxBound descending —
+// the visit order that lets top-k terminate as early as possible. Ties
+// break by index so the order is deterministic.
+func topkSegOrder(segs []*segment) []int {
+	if len(segs) == 0 {
+		return nil
+	}
+	order := make([]int, len(segs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return segs[order[i]].meta.maxBound > segs[order[j]].meta.maxBound
+	})
+	return order
+}
+
+// planKey identifies one cached plan. The key is EXACT — querySize and the
+// raw bits of the clamped threshold — because the partition skip compares
+// u/q < t* exactly; bucketing either value would let a query reuse a plan
+// whose skip decisions differ from its own, breaking the byte-identical
+// equivalence with the unplanned path.
+type planKey struct {
+	size  int
+	tBits uint64
+}
+
+// segPlan holds one plan: per segment, the banding decision of every
+// partition exactly as core.Index.PlanPartitions makes it. A nil entry
+// marks a segment all of whose partitions are skipped for this
+// (querySize, tStar) — the whole segment is range-pruned.
+type segPlan struct {
+	params [][]tune.Params
+}
+
+// planTable is one published generation of the plan cache. The map is
+// immutable once stored (misses publish a copy), so readers index it with
+// no lock; segGen pins it to the segment set it was planned against.
+type planTable struct {
+	segGen uint64
+	m      map[planKey]*segPlan
+}
+
+// planCacheMax bounds the table. Serving workloads see a handful of
+// distinct (querySize, tStar) pairs; when an adversarial mix overflows the
+// bound the table restarts empty rather than growing without limit.
+const planCacheMax = 256
+
+// buildSegPlan computes the plan for (querySize, tStar) against the
+// snapshot's segment set. tStar must already be clamped.
+func buildSegPlan(sn *snapshot, querySize int, tStar float64) *segPlan {
+	p := &segPlan{params: make([][]tune.Params, len(sn.segs))}
+	for si, seg := range sn.segs {
+		pp := seg.idx.PlanPartitions(nil, querySize, tStar)
+		for _, e := range pp {
+			if e.B != 0 {
+				p.params[si] = pp
+				break
+			}
+		}
+	}
+	return p
+}
+
+// planFor returns the plan for (querySize, tStar) against sn, consulting
+// the cache unless disabled. The hit path is one atomic load and one map
+// read. Misses build the plan outside any lock, then publish a copied map
+// under planMu; a racing publish of the same key wastes one build, nothing
+// more. tStar must already be clamped.
+func (x *Index) planFor(sn *snapshot, querySize int, tStar float64) *segPlan {
+	if x.opts.DisablePlanCache {
+		return buildSegPlan(sn, querySize, tStar)
+	}
+	tb := x.plans.Load()
+	if tb == nil || tb.segGen != sn.segGen {
+		if tb == nil || tb.segGen < sn.segGen {
+			// The segment set moved on: restart the table at the new
+			// generation (every cached plan is aligned to a dead layout).
+			x.planMu.Lock()
+			cur := x.plans.Load()
+			if cur == nil || cur.segGen < sn.segGen {
+				tb = &planTable{segGen: sn.segGen, m: map[planKey]*segPlan{}}
+				x.plans.Store(tb)
+			} else {
+				tb = cur
+			}
+			x.planMu.Unlock()
+		}
+		if tb.segGen != sn.segGen {
+			// This reader holds a snapshot older than the table (a seal or
+			// merge published mid-query elsewhere): plan ephemerally.
+			x.planMisses.Add(1)
+			return buildSegPlan(sn, querySize, tStar)
+		}
+	}
+	key := planKey{size: querySize, tBits: math.Float64bits(tStar)}
+	if p, ok := tb.m[key]; ok {
+		x.planHits.Add(1)
+		return p
+	}
+	x.planMisses.Add(1)
+	p := buildSegPlan(sn, querySize, tStar)
+	x.planMu.Lock()
+	if cur := x.plans.Load(); cur.segGen == sn.segGen {
+		if _, ok := cur.m[key]; !ok {
+			var m map[planKey]*segPlan
+			if len(cur.m) >= planCacheMax {
+				m = make(map[planKey]*segPlan, 1)
+			} else {
+				m = make(map[planKey]*segPlan, len(cur.m)+1)
+				for k, v := range cur.m {
+					m[k] = v
+				}
+			}
+			m[key] = p
+			x.plans.Store(&planTable{segGen: sn.segGen, m: m})
+		}
+	}
+	x.planMu.Unlock()
+	return p
+}
+
+// ---- result cache ----
+
+// resultEntry is one cached exact query result. Everything in it is
+// immutable after the entry is published except stamp, the approximate-LRU
+// clock tick of its last use.
+type resultEntry struct {
+	gen   uint64            // snapshot generation the result was computed on
+	hash  uint64            // queryHash of (sig, size, tBits)
+	size  int               // exact query size
+	tBits uint64            // raw bits of the clamped threshold
+	sig   minhash.Signature // private copy of the query signature
+	keys  []string          // the result, in fan-out order
+
+	stamp atomic.Uint64
+}
+
+// rcWays is the set associativity of the result cache: a query hashes to
+// one set of rcWays slots, probed linearly. Four ways keeps the probe cost
+// trivial while making it unlikely that two hot queries evict each other.
+const rcWays = 4
+
+// defaultResultCacheSize is the entry count when Options.ResultCacheSize
+// is zero. At ~1–2 KiB per cached result this stays in the low MiB.
+const defaultResultCacheSize = 1024
+
+// newResultCache sizes the slot array: entries rounds up so the set count
+// is a power of two (index = hash & mask).
+func newResultCache(entries int) ([]atomic.Pointer[resultEntry], uint64) {
+	sets := 1
+	for sets*rcWays < entries {
+		sets <<= 1
+	}
+	return make([]atomic.Pointer[resultEntry], sets*rcWays), uint64(sets - 1)
+}
+
+// mixHash is the splitmix64 finalizer (same as the Bloom filter's mixer):
+// one round decorrelates the set index from structured FNV output.
+func mixHash(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// queryHash fingerprints a query for the result cache: FNV-1a over the
+// signature words, the size and the threshold bits, finalized with one mix
+// round.
+func queryHash(sig minhash.Signature, querySize int, tBits uint64) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range sig {
+		h = (h ^ v) * prime64
+	}
+	h = (h ^ uint64(querySize)) * prime64
+	h = (h ^ tBits) * prime64
+	return mixHash(h)
+}
+
+// lookupResult probes the query's set for a fresh exact match. A hit
+// requires the entry's generation to equal the snapshot's — any Add,
+// Delete, seal or merge publishes a new generation, so a stale result can
+// never be served. The full signature compare makes hash collisions
+// harmless.
+func (x *Index) lookupResult(sn *snapshot, sig minhash.Signature, querySize int, tBits, h uint64) *resultEntry {
+	base := int(h&x.rcMask) * rcWays
+	for i := 0; i < rcWays; i++ {
+		e := x.rc[base+i].Load()
+		if e == nil || e.gen != sn.gen || e.hash != h || e.size != querySize || e.tBits != tBits {
+			continue
+		}
+		if len(e.sig) != len(sig) {
+			continue
+		}
+		match := true
+		for j := range sig {
+			if e.sig[j] != sig[j] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		e.stamp.Store(x.rcClock.Add(1))
+		return e
+	}
+	return nil
+}
+
+// storeResult publishes a computed result into the query's set, evicting
+// (in order of preference) an empty slot, a stale-generation entry, or the
+// least recently stamped one. Races between concurrent inserts are benign:
+// slots are single atomic pointers, so a lost insert just misses next time.
+func (x *Index) storeResult(sn *snapshot, sig minhash.Signature, querySize int, tBits, h uint64, keys []string) {
+	base := int(h&x.rcMask) * rcWays
+	victim := 0
+	var minStamp uint64 = math.MaxUint64
+	for i := 0; i < rcWays; i++ {
+		e := x.rc[base+i].Load()
+		if e == nil || e.gen != sn.gen {
+			victim = i
+			break
+		}
+		if s := e.stamp.Load(); s < minStamp {
+			minStamp, victim = s, i
+		}
+	}
+	e := &resultEntry{
+		gen:   sn.gen,
+		hash:  h,
+		size:  querySize,
+		tBits: tBits,
+		sig:   append(minhash.Signature(nil), sig...),
+		keys:  append([]string(nil), keys...),
+	}
+	e.stamp.Store(x.rcClock.Add(1))
+	x.rc[base+victim].Store(e)
+}

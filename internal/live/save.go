@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"lshensemble/internal/bloom"
 	"lshensemble/internal/core"
 	"lshensemble/internal/minhash"
 )
@@ -14,9 +15,18 @@ import (
 //
 //	magic "LIVE" | version u32
 //	numHash u32 | rMax u32 | seq u64
-//	nsegs u32, per segment: n u32, seqs [n]u64, core index bytes (self-framed)
+//	nsegs u32, per segment: n u32, seqs [n]u64, core index bytes (self-framed),
+//	    and from version 2 the planner metadata:
+//	    minSize u64 | maxSize u64 | maxBound u64 | keys bloom | leads bloom
 //	nbuf u32, per entry: seq u64, keylen u32, key, size u64, sig [numHash]u64
 //	ntombs u32, per tombstone: keylen u32, key, seq u64
+//
+// Version history: v1 predates the query planner and carries no segment
+// metadata; v2 appends it per segment so a load does not pay to re-derive
+// the Bloom filters. Load accepts both — a v1 snapshot rebuilds its
+// metadata from the decoded segments (buildSegMeta is a pure function of
+// the core index, so the rebuilt planner state is identical to what seal
+// time would have produced). Save always writes the current version.
 //
 // Save serializes a point-in-time snapshot: it is safe to call while
 // writers and the compactor run (they publish new snapshots; the one being
@@ -25,7 +35,10 @@ import (
 
 var liveMagic = [4]byte{'L', 'I', 'V', 'E'}
 
-const liveVersion = 1
+const (
+	liveVersion   = 2
+	liveVersionV1 = 1 // pre-planner: no per-segment metadata block
+)
 
 // ErrCorrupt reports a malformed live-snapshot encoding.
 var ErrCorrupt = errors.New("live: corrupt snapshot encoding")
@@ -52,6 +65,11 @@ func (x *Index) AppendBinary(buf []byte) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, s)
 		}
 		buf = seg.idx.AppendBinary(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.minSize))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.maxSize))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.maxBound))
+		buf = seg.meta.keys.AppendBinary(buf)
+		buf = seg.meta.leads.AppendBinary(buf)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.buf)))
 	for i := range sn.buf {
@@ -101,8 +119,10 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 	if len(buf) < 24 || [4]byte(buf[:4]) != liveMagic {
 		return nil, ErrCorrupt
 	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != liveVersion {
-		return nil, fmt.Errorf("live: snapshot version %d, want %d: %w", v, liveVersion, ErrCorrupt)
+	version := binary.LittleEndian.Uint32(buf[4:])
+	if version != liveVersionV1 && version != liveVersion {
+		return nil, fmt.Errorf("live: snapshot version %d, want %d or %d: %w",
+			version, liveVersionV1, liveVersion, ErrCorrupt)
 	}
 	numHash := int(binary.LittleEndian.Uint32(buf[8:]))
 	rMax := int(binary.LittleEndian.Uint32(buf[12:]))
@@ -128,6 +148,9 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		done:   make(chan struct{}),
 	}
 	x.tuner = newTuner(opts)
+	if opts.ResultCacheSize > 0 {
+		x.rc, x.rcMask = newResultCache(opts.ResultCacheSize)
+	}
 
 	sn := &snapshot{}
 	nsegs, buf, err := readCount(buf)
@@ -166,7 +189,16 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 			return nil, fmt.Errorf("live: segment %d shape (%d, %d) != header (%d, %d): %w",
 				i, o.NumHash, o.RMax, numHash, rMax, ErrCorrupt)
 		}
-		sn.segs = append(sn.segs, &segment{idx: idx, seqs: seqs})
+		var meta *segMeta
+		if version >= 2 {
+			meta, buf, err = decodeSegMeta(buf)
+			if err != nil {
+				return nil, fmt.Errorf("live: segment %d metadata: %w", i, err)
+			}
+		} else {
+			meta = buildSegMeta(idx)
+		}
+		sn.segs = append(sn.segs, &segment{idx: idx, seqs: seqs, meta: meta})
 	}
 	nbuf, buf, err := readCount(buf)
 	if err != nil {
@@ -261,6 +293,8 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 			x.seq = s
 		}
 	}
+	sn.gen, sn.segGen = 1, 1
+	sn.topkOrder = topkSegOrder(sn.segs)
 	x.snap.Store(sn)
 	if !opts.ManualCompaction {
 		go x.compactor()
@@ -271,6 +305,31 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		close(x.done)
 	}
 	return x, nil
+}
+
+// decodeSegMeta reconstructs one segment's planner metadata from the front
+// of buf (the v2 per-segment block).
+func decodeSegMeta(buf []byte) (*segMeta, []byte, error) {
+	if len(buf) < 24 {
+		return nil, buf, ErrCorrupt
+	}
+	m := &segMeta{
+		minSize:  int(binary.LittleEndian.Uint64(buf)),
+		maxSize:  int(binary.LittleEndian.Uint64(buf[8:])),
+		maxBound: int(binary.LittleEndian.Uint64(buf[16:])),
+	}
+	buf = buf[24:]
+	if m.minSize <= 0 || m.minSize > m.maxSize || m.maxBound < m.maxSize {
+		return nil, buf, ErrCorrupt
+	}
+	var err error
+	if m.keys, buf, err = bloom.Decode(buf); err != nil {
+		return nil, buf, err
+	}
+	if m.leads, buf, err = bloom.Decode(buf); err != nil {
+		return nil, buf, err
+	}
+	return m, buf, nil
 }
 
 // readCount reads a u32 count, bounded by the remaining buffer so a hostile

@@ -447,6 +447,40 @@ func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
 	}
 }
 
+// TreeLeadingColumn returns tree t's sorted column of leading hash values
+// (the value at offset t*RMax of every stored signature) as a view into the
+// forest's index — callers must not mutate it. Any probe of tree t at any
+// depth r ≥ 1 matches an entry only if the query's leading value occurs in
+// this column, which is what makes the column the cheap export segment-level
+// planners (internal/live) build their collision Bloom filters and bounds
+// from. It returns nil for an empty forest and panics before Index.
+func (f *Forest) TreeLeadingColumn(t int) []uint64 {
+	if !f.indexed {
+		panic("lshforest: TreeLeadingColumn before Index")
+	}
+	if t < 0 || t >= f.bMax {
+		panic(fmt.Sprintf("lshforest: tree %d out of range [0, %d)", t, f.bMax))
+	}
+	if len(f.ids) == 0 {
+		return nil
+	}
+	col := f.treeKeys[t]
+	return col[:len(col):len(col)]
+}
+
+// TreeLeadingBounds returns the smallest and largest leading hash value of
+// tree t (the first and last element of the sorted column). ok is false for
+// an empty forest. A query value outside [min, max] cannot collide in the
+// tree; with near-uniform hash values the interval is usually wide, so the
+// bounds serve diagnostics and fast-path checks rather than primary pruning.
+func (f *Forest) TreeLeadingBounds(t int) (min, max uint64, ok bool) {
+	col := f.TreeLeadingColumn(t)
+	if len(col) == 0 {
+		return 0, 0, false
+	}
+	return col[0], col[len(col)-1], true
+}
+
 // Each invokes fn for every (id, signature) pair stored in the forest, in
 // insertion order. The signature is a view into the forest's backing store
 // and must not be mutated.

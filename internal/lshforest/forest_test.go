@@ -392,3 +392,55 @@ func BenchmarkForestIndexParallel(b *testing.B) {
 		f.IndexParallel(runtime.GOMAXPROCS(0))
 	}
 }
+
+func TestTreeLeadingColumnAndBounds(t *testing.T) {
+	f := New(8, 2) // 4 trees of depth 2
+	sigs := [][]uint64{
+		{5, 1, 9, 2, 3, 4, 7, 8},
+		{3, 1, 9, 2, 1, 4, 7, 8},
+		{8, 1, 2, 2, 3, 4, 6, 8},
+	}
+	for i, s := range sigs {
+		f.Add(uint32(i), s)
+	}
+	f.Index()
+	for tr := 0; tr < f.BMax(); tr++ {
+		col := f.TreeLeadingColumn(tr)
+		if len(col) != len(sigs) {
+			t.Fatalf("tree %d column length %d, want %d", tr, len(col), len(sigs))
+		}
+		for i := 1; i < len(col); i++ {
+			if col[i-1] > col[i] {
+				t.Fatalf("tree %d column not sorted: %v", tr, col)
+			}
+		}
+		// Every stored leading value must appear in the column.
+		for _, s := range sigs {
+			want := s[tr*f.RMax()]
+			found := false
+			for _, v := range col {
+				if v == want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("tree %d column %v missing leading value %d", tr, col, want)
+			}
+		}
+		lo, hi, ok := f.TreeLeadingBounds(tr)
+		if !ok || lo != col[0] || hi != col[len(col)-1] {
+			t.Fatalf("tree %d bounds (%d, %d, %v) disagree with column %v", tr, lo, hi, ok, col)
+		}
+	}
+}
+
+func TestTreeLeadingColumnEmptyForest(t *testing.T) {
+	f := New(8, 2)
+	f.Index()
+	if col := f.TreeLeadingColumn(0); col != nil {
+		t.Fatalf("empty forest returned column %v", col)
+	}
+	if _, _, ok := f.TreeLeadingBounds(0); ok {
+		t.Fatal("empty forest reported bounds")
+	}
+}
