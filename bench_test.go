@@ -5,6 +5,7 @@
 package lshensemble_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -836,4 +837,114 @@ func BenchmarkResultCacheHit(b *testing.B) {
 	// after warmup every iteration is a generation-checked hit.
 	b.Run("hit", func(b *testing.B) { run(b, 0, 64) })
 	b.Run("cold", func(b *testing.B) { run(b, -1, 64) })
+}
+
+// outOfCoreBenchIndex builds the steady multi-segment shape of
+// liveBenchIndex, optionally spilled to dataDir and served via mmap.
+func outOfCoreBenchIndex(b *testing.B, f *fixture, dataDir string, mmap bool) *lshensemble.LiveIndex {
+	b.Helper()
+	idx, err := lshensemble.BuildLive(f.records[:len(f.records)/2], lshensemble.LiveOptions{
+		Options:          lshensemble.Options{NumPartitions: 16},
+		SealThreshold:    1024,
+		MaxSegments:      8,
+		ManualCompaction: true,
+		// Result caching off: the point is the raw probe path over the two
+		// backings, not memoization.
+		ResultCacheSize: -1,
+		DataDir:         dataDir,
+		Mmap:            mmap,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	half := len(f.records) / 2
+	for i := half; i < len(f.records); i++ {
+		if _, err := idx.Add(f.records[i]); err != nil {
+			b.Fatal(err)
+		}
+		if (i-half)%1000 == 999 {
+			idx.Flush()
+		}
+	}
+	idx.Flush()
+	return idx
+}
+
+// BenchmarkLiveQueryMmapVsHeap is the zero-copy acceptance bench: the same
+// multi-segment corpus queried from heap-resident segments vs mmap-backed
+// segment files. The binary-search probes run directly on the mapped byte
+// views, so once the working set is faulted in, mmap must stay within 1.3x
+// of heap — and both paths must be allocation-free in steady state.
+func BenchmarkLiveQueryMmapVsHeap(b *testing.B) {
+	f := openDataFixture(b, 8000)
+	run := func(b *testing.B, dataDir string, mmap bool) {
+		idx := outOfCoreBenchIndex(b, f, dataDir, mmap)
+		defer idx.Close()
+		var dst []string
+		for _, qi := range f.queries { // warm scratch, plan cache, page cache
+			dst = idx.QueryAppend(dst[:0], f.records[qi].Sig, f.records[qi].Size, 0.5)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qi := f.queries[i%len(f.queries)]
+			dst = idx.QueryAppend(dst[:0], f.records[qi].Sig, f.records[qi].Size, 0.5)
+		}
+	}
+	b.Run("heap", func(b *testing.B) { run(b, "", false) })
+	b.Run("mmap", func(b *testing.B) { run(b, b.TempDir(), true) })
+}
+
+// BenchmarkColdBootLazy measures restart cost: time from snapshot bytes to
+// the first answered query. The eager path decodes the whole inline v3
+// snapshot; the lazy path opens a manifest whose segments are mmapped —
+// only the header and planner metadata are read eagerly, the signature
+// store pages in on demand as the first query probes it.
+func BenchmarkColdBootLazy(b *testing.B) {
+	f := openDataFixture(b, 8000)
+	q := f.records[f.queries[0]]
+
+	heapOpts := lshensemble.LiveOptions{
+		Options:          lshensemble.Options{NumPartitions: 16},
+		SealThreshold:    1024,
+		ManualCompaction: true,
+	}
+	src, err := lshensemble.BuildLive(f.records, heapOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var inline bytes.Buffer
+	if err := src.Save(&inline); err != nil {
+		b.Fatal(err)
+	}
+	src.Close()
+
+	mmapOpts := heapOpts
+	mmapOpts.DataDir = b.TempDir()
+	mmapOpts.Mmap = true
+	src, err = lshensemble.BuildLive(f.records, mmapOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var manifest bytes.Buffer
+	if err := src.Save(&manifest); err != nil {
+		b.Fatal(err)
+	}
+	src.Close()
+
+	boot := func(b *testing.B, snap []byte, opts lshensemble.LiveOptions) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx, err := lshensemble.LoadLive(bytes.NewReader(snap), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := idx.Query(q.Sig, q.Size, 0.5); len(got) == 0 {
+				b.Fatal("first query after boot found nothing")
+			}
+			idx.Close()
+		}
+	}
+	b.Run("eager-inline", func(b *testing.B) { boot(b, inline.Bytes(), heapOpts) })
+	b.Run("lazy-mmap", func(b *testing.B) { boot(b, manifest.Bytes(), mmapOpts) })
 }

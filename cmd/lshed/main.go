@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"lshensemble"
 	"lshensemble/internal/par"
+	"lshensemble/internal/segfile"
 	"lshensemble/internal/tabular"
 )
 
@@ -110,12 +112,13 @@ func cmdIndex(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	// Crash-safe write (temp + fsync + atomic rename): an interrupted run
+	// leaves either the previous index file or the new one, never a torn mix.
+	var buf bytes.Buffer
+	if err := lshensemble.Save(&buf, idx); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := lshensemble.Save(f, idx); err != nil {
+	if err := segfile.WriteAtomic(*out, buf.Bytes()); err != nil {
 		return err
 	}
 	fmt.Printf("indexed %d domains into %d partitions in %s → %s\n",

@@ -23,15 +23,25 @@
 //
 // With -snapshot the daemon loads the file at boot when it exists (warm
 // restart) and saves on SIGINT/SIGTERM, so a rolling restart keeps the
-// corpus without replaying ingest. Current snapshots carry the planner
-// metadata inline (wire v2); snapshots from older daemons (v1) still load —
-// the planner metadata is rebuilt during load.
+// corpus without replaying ingest. Snapshots from older daemons (wire v1/v2)
+// still load; the daemon always saves the current format (v3).
+//
+// With -data-dir the index runs out-of-core: sealed segments spill to
+// page-aligned files under the directory and the snapshot becomes a small
+// manifest referencing them (wire v3), written atomically on every save.
+// When -snapshot is not given, the manifest defaults to
+// <data-dir>/MANIFEST. Adding -mmap serves sealed segments directly from
+// memory-mapped files — boot maps only headers and planner metadata, so a
+// warm restart answers its first query without decoding the signature
+// stores, and resident memory tracks the queried working set instead of the
+// corpus ("resident_bytes" vs "file_bytes" per segment in /stats).
 //
 // Usage:
 //
 //	lshensembled [-addr :7447] [-hashes 256] [-rmax 8] [-partitions 16]
 //	             [-seed 42] [-seal 4096] [-max-segments 8]
 //	             [-snapshot /var/lib/lshensembled/index.snap]
+//	             [-data-dir /var/lib/lshensembled] [-mmap]
 //	             [-no-prune] [-no-plan-cache] [-result-cache 1024]
 //
 // The planner escape hatches exist for A/B measurement and debugging:
@@ -49,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -63,11 +74,20 @@ func main() {
 	seed := flag.Uint64("seed", 42, "hash family seed (must match across restarts and clients)")
 	seal := flag.Int("seal", 4096, "buffered adds that trigger a background seal")
 	maxSegments := flag.Int("max-segments", 8, "sealed segments above which the compactor merges")
-	snapshot := flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown and POST /save")
+	snapshot := flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown and POST /save (defaults to <data-dir>/MANIFEST when -data-dir is set)")
+	dataDir := flag.String("data-dir", "", "directory for out-of-core segment files; snapshots become small manifests referencing them")
+	mmap := flag.Bool("mmap", false, "serve sealed segments from memory-mapped files (requires -data-dir; lazy boot)")
 	noPrune := flag.Bool("no-prune", false, "disable segment Bloom/range pruning and top-k early termination (A/B escape hatch)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the per-snapshot (b, r) plan cache (A/B escape hatch)")
 	resultCache := flag.Int("result-cache", 1024, "result-cache capacity in entries (0 disables)")
 	flag.Parse()
+
+	if *mmap && *dataDir == "" {
+		log.Fatal("-mmap requires -data-dir")
+	}
+	if *snapshot == "" && *dataDir != "" {
+		*snapshot = filepath.Join(*dataDir, "MANIFEST")
+	}
 
 	resultCacheSize := *resultCache
 	if resultCacheSize <= 0 {
@@ -84,6 +104,8 @@ func main() {
 		DisablePruning:   *noPrune,
 		DisablePlanCache: *noPlanCache,
 		ResultCacheSize:  resultCacheSize,
+		DataDir:          *dataDir,
+		Mmap:             *mmap,
 	}
 
 	var idx *lshensemble.LiveIndex

@@ -8,11 +8,11 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 
 	"lshensemble"
+	"lshensemble/internal/segfile"
 )
 
 // server is the HTTP face of one live index. Queries hit the lock-free
@@ -315,30 +315,22 @@ func (s *server) handleSave(w http.ResponseWriter, _ *http.Request) {
 var snapshotMagic = [4]byte{'L', 'S', 'H', 'D'}
 
 // saveSnapshot writes the current snapshot to s.snapshotPath via a
-// same-directory temp file + rename, so a crash mid-write never corrupts
-// the previous snapshot. It returns the byte count written.
+// same-directory fsynced temp file + atomic rename, so a crash at any point
+// leaves either the previous snapshot or the new one, never a torn file.
+// Once the manifest is durable, segment files retired since the previous
+// save are deleted. It returns the byte count written.
 func (s *server) saveSnapshot() (int, error) {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	buf := append([]byte(nil), snapshotMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
 	buf = s.idx.AppendBinary(buf)
-	dir := filepath.Dir(s.snapshotPath)
-	tmp, err := os.CreateTemp(dir, ".lshensembled-*.tmp")
-	if err != nil {
+	if err := segfile.WriteAtomic(s.snapshotPath, buf); err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), s.snapshotPath); err != nil {
-		return 0, err
-	}
+	// The freshly renamed manifest no longer references retired segment
+	// files, so they are safe to delete now — and only now.
+	s.idx.CollectGarbage()
 	return len(buf), nil
 }
 

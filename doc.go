@@ -137,8 +137,10 @@
 //     identically), with every tombstone purged.
 //   - SaveLive/LoadLive persist a point-in-time snapshot for warm restarts;
 //     Save is safe while writers run. The snapshot wire format is
-//     versioned: current files (v2) embed the planner metadata below,
-//     pre-planner (v1) files still load and rebuild it.
+//     versioned and checksummed: current files (v3) are either
+//     self-contained or — with LiveOptions.DataDir — small manifests
+//     referencing segment files; older v1/v2 files still load (missing
+//     planner metadata is rebuilt).
 //
 // Queries are planned per segment: sealed segments carry seal-time
 // metadata (domain-size range, partition bounds, key and leading-value
@@ -153,11 +155,40 @@
 // DisablePlanCache and ResultCacheSize expose the knobs; LiveStats
 // reports per-segment metadata and prune/hit counters.
 //
+// # Out-of-core segments
+//
+// With LiveOptions.DataDir set, the live index runs out-of-core: every
+// seal and merge spills its segment to a page-aligned, checksummed file
+// (header, planner metadata, then the forests' contiguous signature store
+// and flat tree columns — the exact in-memory layout), written crash-safely
+// via temp file + fsync + atomic rename. Snapshots become small manifests
+// referencing the files, and retirement is refcounted: a segment file is
+// deleted (and its mapping released) only after the last in-flight reader
+// of any snapshot listing it has drained, with manifest-referenced files
+// further deferred to LiveIndex.CollectGarbage after the next manifest is
+// durable.
+//
+// Adding LiveOptions.Mmap serves sealed segments from read-only
+// memory-mapped views of those files. The flat layout was chosen so
+// binary-search probes work unchanged on mapped bytes — queries are
+// zero-copy and allocation-free over the mapping, within measurement noise
+// of heap serving (BENCH_7.json). Boot from a manifest reads only each
+// file's header and planner metadata eagerly; signatures page in lazily as
+// queries touch them, so a warm restart of a large corpus answers its
+// first query in milliseconds and resident memory tracks the queried
+// working set, not the corpus. Choose -mmap when the corpus approaches or
+// exceeds RAM, when restart latency matters, or when many daemons share a
+// box; plain DataDir (spill without mmap) keeps heap serving but still
+// gets small manifests and crash-safe persistence. On platforms without
+// mmap support the option degrades to a heap read with identical results.
+//
 // cmd/lshensembled serves a LiveIndex over HTTP (/add, /delete, /query,
 // /query/topk, /query/batch backed by the batch engine, /stats, /compact,
-// /save) with snapshot load at boot and save on shutdown;
-// examples/dynamic walks the churn-and-compact lifecycle and prints what
-// the planner pruned.
+// /save) with snapshot load at boot and save on shutdown, and runs
+// out-of-core with -data-dir DIR -mmap (the snapshot then defaults to
+// DIR/MANIFEST; /stats reports each segment's backing, file bytes and
+// resident estimate); examples/dynamic walks the churn-and-compact
+// lifecycle and prints what the planner pruned.
 //
 // See ROADMAP.md for representative before/after benchmark numbers.
 //

@@ -1,0 +1,81 @@
+package bloom
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Atomic is a Bloom filter that tolerates concurrent Adds and MayContain
+// calls — the live index's unsealed add-buffer filter, where writers insert
+// while queries probe. Bits are set with a compare-and-swap loop and read
+// with atomic loads, so a reader sees a subset or superset of some linear
+// history of Adds; missing a concurrent Add is fine for the caller because
+// the buffer entry it describes is not in the reader's snapshot either, and
+// extra bits only cost false positives. Sizing and probe derivation match
+// Filter exactly.
+type Atomic struct {
+	k     int
+	mask  uint64
+	words []atomic.Uint64
+}
+
+// NewAtomic constructs an atomic filter with the same sizing rules as New.
+func NewAtomic(n, bitsPerEntry, k int) *Atomic {
+	if n < 1 {
+		n = 1
+	}
+	if bitsPerEntry < 1 {
+		bitsPerEntry = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	bitCount := uint64(n) * uint64(bitsPerEntry)
+	if bitCount < 64 {
+		bitCount = 64
+	}
+	if bitCount&(bitCount-1) != 0 {
+		bitCount = 1 << bits.Len64(bitCount)
+	}
+	return &Atomic{
+		k:     k,
+		mask:  bitCount - 1,
+		words: make([]atomic.Uint64, bitCount/64),
+	}
+}
+
+// SizeBytes returns the memory footprint of the bit array.
+func (f *Atomic) SizeBytes() int { return len(f.words) * 8 }
+
+// AddHash inserts an element identified by a 64-bit hash. Safe to call from
+// any number of goroutines. (CAS rather than atomic Or: the module still
+// targets Go 1.22, which predates atomic.Uint64.Or.)
+func (f *Atomic) AddHash(h uint64) {
+	h1, h2 := probes(h)
+	for i := 0; i < f.k; i++ {
+		pos := h1 & f.mask
+		w := &f.words[pos>>6]
+		bit := uint64(1) << (pos & 63)
+		for {
+			old := w.Load()
+			if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+				break
+			}
+		}
+		h1 += h2
+	}
+}
+
+// MayContainHash reports whether the element identified by h might have been
+// added. False means definitely not among the Adds visible to this reader.
+func (f *Atomic) MayContainHash(h uint64) bool {
+	h1, h2 := probes(h)
+	for i := 0; i < f.k; i++ {
+		pos := h1 & f.mask
+		if f.words[pos>>6].Load()&(1<<(pos&63)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}

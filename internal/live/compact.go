@@ -129,30 +129,40 @@ func (x *Index) seal(min int) bool {
 		// The planner metadata is derived outside the writer lock, like the
 		// build itself: only the pointer swap below blocks writers.
 		seg = &segment{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}
+		seg.resident = heapSegmentResident(idx, seg.meta)
+		// Spill to a segment file before publishing (file IO stays outside
+		// the writer lock, like the build).
+		seg = x.persistSegment(seg)
 	}
 
 	x.mu.Lock()
 	cur := x.snap.Load()
 	// Entries appended while the build ran stay buffered; relocating them to
 	// a fresh backing array lets the sealed prefix's array be collected once
-	// the old snapshots die.
+	// the old snapshots die. The buffer Bloom filter is rebuilt over the
+	// carried-over entries so it stops answering "maybe" for everything the
+	// seal just removed.
 	rest := cur.buf[len(buf):]
 	back := make([]entry, len(rest), len(rest)+x.opts.SealThreshold)
 	copy(back, rest)
 	x.bufBack = back
 	bufMax := 0
+	bb := x.newBufBloom()
 	for i := range back {
 		if s := back[i].rec.Size; s > bufMax {
 			bufMax = s
 		}
+		addBufLeads(bb, back[i].rec.Sig, x.opts.RMax)
 	}
+	x.bufBloom = bb
 	segs := cur.segs
 	if seg != nil {
 		segs = append(append(make([]*segment, 0, len(cur.segs)+1), cur.segs...), seg)
 	}
-	next := &snapshot{segs: segs, buf: back, tombs: gcTombs(cur.tombs, segs, back), bufMax: bufMax}
-	x.snap.Store(successor(next, cur, true))
+	next := &snapshot{segs: segs, buf: back, tombs: gcTombs(cur.tombs, segs, back), bufMax: bufMax, bufBloom: bb}
+	old := x.publishLocked(next, cur, true)
 	x.mu.Unlock()
+	x.releaseSnap(old)
 	x.seals.Add(1)
 	return true
 }
@@ -230,11 +240,16 @@ func (x *Index) mergeSegments(victims []*segment) {
 
 	var merged *segment
 	if len(recs) > 0 {
+		// core.Build copies every signature into the new segment's own
+		// store, so the merged segment holds no views into the victims —
+		// they can unmap once their last reader drains.
 		idx, err := core.Build(recs, x.opts.Options)
 		if err != nil {
 			return // unreachable: inputs came from validated segments
 		}
 		merged = &segment{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}
+		merged.resident = heapSegmentResident(idx, merged.meta)
+		merged = x.persistSegment(merged)
 	}
 
 	x.mu.Lock()
@@ -254,9 +269,10 @@ func (x *Index) mergeSegments(victims []*segment) {
 		sort.Slice(segs, func(i, j int) bool { return segs[i].minSeq() < segs[j].minSeq() })
 	}
 	tombs := exactGCTombs(cur.tombs, segs, cur.buf)
-	next := &snapshot{segs: segs, buf: cur.buf, tombs: tombs, bufMax: cur.bufMax}
-	x.snap.Store(successor(next, cur, true))
+	next := &snapshot{segs: segs, buf: cur.buf, tombs: tombs, bufMax: cur.bufMax, bufBloom: cur.bufBloom}
+	old := x.publishLocked(next, cur, true)
 	x.mu.Unlock()
+	x.releaseSnap(old)
 	x.merges.Add(1)
 }
 

@@ -79,9 +79,41 @@
 // changes bump gen, so result-cache coherence holds even though the
 // segment set (and the plan cache) is unchanged.
 //
-// Snapshot persistence is versioned: the current format (v2) carries the
-// planner metadata inline; v1 files written before the planner still load,
-// rebuilding the metadata from the decoded segments (see save.go).
+// The unsealed buffer has a planner of its own: an atomic Bloom filter over
+// the leading signature value of every buffered entry's trees. A buffer scan
+// can only match when some query leading value occurs in the buffer, so a
+// filter miss skips the linear scan entirely — the cheap analogue of the
+// sealed segments' Bloom pruning, rebuilt whenever a seal relocates the
+// buffer.
+//
+// # Out-of-core segments
+//
+// With Options.DataDir set, every sealed segment is spilled to its own
+// segment file (see segio.go for the layout): seal and merge write the file
+// with an atomic temp+fsync+rename before publishing the segment, and Save
+// writes a manifest that references the files instead of embedding the
+// segment bytes. With Options.Mmap additionally set, segments are served
+// from read-only memory-mapped views of those files: a boot from a manifest
+// eagerly reads only each file's header and META section (the record catalog
+// and planner metadata) while the signature stores and tree columns stay on
+// disk until a probe faults them in — the corpus no longer needs to fit in
+// RAM, and cold boot cost is proportional to metadata, not data.
+//
+// Mapped memory makes object lifetime a correctness matter (touching an
+// unmapped page faults), so snapshots and segments are reference counted:
+// queries pin the snapshot they read, and a retired segment unmaps only
+// after the last reader drops the last snapshot referencing it. Segment
+// files are garbage collected against the manifest: files never referenced
+// by a manifest are deleted the moment their segment is retired, files a
+// manifest references outlive retirement until CollectGarbage runs after
+// the next manifest is durable, and boot sweeps files the loaded manifest
+// does not reference. Every crash ordering therefore leaves a loadable
+// manifest whose files all exist.
+//
+// Snapshot persistence is versioned: the current format (v3) references
+// spilled segment files from a checksummed manifest (inlining any segment
+// without a file); v2 carried the planner metadata inline and v1 predates
+// the planner — both still load (see save.go).
 package live
 
 import (
@@ -91,8 +123,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lshensemble/internal/bloom"
 	"lshensemble/internal/core"
 	"lshensemble/internal/minhash"
+	"lshensemble/internal/segfile"
 	"lshensemble/internal/tune"
 )
 
@@ -132,6 +166,21 @@ type Options struct {
 	// results are only served against the exact snapshot generation they
 	// were computed on, so any Add/Delete/seal/merge invalidates them all.
 	ResultCacheSize int
+
+	// DataDir, when non-empty, enables out-of-core sealed segments: every
+	// seal and merge spills its segment to a file in this directory
+	// (crash-safely: temp + fsync + atomic rename) and Save writes a
+	// manifest referencing the files instead of embedding segment bytes.
+	// The directory is created if missing and belongs to this index —
+	// unreferenced segment files in it are garbage collected.
+	DataDir string
+
+	// Mmap serves sealed segments from read-only memory-mapped views of
+	// their segment files instead of heap copies: queries run zero-copy over
+	// the mapped bytes and a boot from a manifest reads only each file's
+	// metadata eagerly. Requires DataDir. On platforms without mmap support
+	// the flag is honored with a heap read (identical results, no laziness).
+	Mmap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +203,29 @@ func newTuner(opts Options) *tune.Optimizer {
 	return tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax)
 }
 
+// newBufBloom sizes a fresh buffer filter for one seal cycle's worth of
+// leading values (SealThreshold entries, one value per tree each), at the
+// same operating point as the sealed segments' leads filter. Nil when
+// pruning is disabled.
+func (x *Index) newBufBloom() *bloom.Atomic {
+	if x.opts.DisablePruning {
+		return nil
+	}
+	numLeads := (x.opts.NumHash + x.opts.RMax - 1) / x.opts.RMax
+	return bloom.NewAtomic(x.opts.SealThreshold*numLeads, leadsBloomBits, leadsBloomK)
+}
+
+// addBufLeads inserts a signature's per-tree leading values (the same
+// stride mayCollide probes).
+func addBufLeads(f *bloom.Atomic, sig minhash.Signature, rMax int) {
+	if f == nil {
+		return
+	}
+	for off := 0; off < len(sig); off += rMax {
+		f.AddHash(sig[off])
+	}
+}
+
 // entry is one buffered Add: the record and its mutation sequence number.
 type entry struct {
 	rec core.Record
@@ -168,6 +240,27 @@ type segment struct {
 	idx  *core.Index
 	seqs []uint64
 	meta *segMeta
+
+	// refs counts the snapshots listing this segment. The last release
+	// closes back (munmap under mmap) and disposes of the file — see
+	// segio.go for the lifetime rules.
+	refs atomic.Int64
+
+	// back is the segment-file byte region the idx views are built over
+	// (nil for heap-built segments).
+	back *segfile.Backing
+
+	// finfo is the on-disk identity once spilled (nil until then); set once,
+	// read lock-free by Save and Stats.
+	finfo atomic.Pointer[segFileInfo]
+
+	// inManifest marks that an encoded manifest references the file, which
+	// defers deletion at retirement to CollectGarbage.
+	inManifest atomic.Bool
+
+	// resident estimates the heap-resident bytes (for mapped segments, only
+	// the eagerly decoded metadata).
+	resident int64
 }
 
 func (s *segment) minSeq() uint64 { return s.seqs[0] }
@@ -198,6 +291,21 @@ type snapshot struct {
 	// the visit order QueryTopK uses for early termination. Recomputed only
 	// when segGen bumps; Add/Delete publishes share the previous slice.
 	topkOrder []int
+
+	// bufBloom filters the leading signature values of this snapshot's
+	// buffered entries: a query whose leading values all miss cannot band-
+	// collide with any buffered entry, so the linear scan is skipped. The
+	// filter is shared with the writer (Adds insert concurrently — extra
+	// bits relative to this snapshot's buf prefix only cost false
+	// positives) and replaced when a seal relocates the buffer. Nil when
+	// pruning is disabled.
+	bufBloom *bloom.Atomic
+
+	// refs and dead manage the snapshot's lifetime (segio.go): the current
+	// pointer holds one reference, each in-flight reader one more, and the
+	// exactly-once teardown releases the segments.
+	refs atomic.Int64
+	dead atomic.Bool
 }
 
 // successor stamps next as the publication following cur: generations
@@ -238,6 +346,10 @@ type Index struct {
 	keySeq  map[string]uint64 // live key → seq of its current entry
 	bufBack []entry           // buffer backing; published snapshots view prefixes of it
 
+	// bufBloom is the writer-side handle of the current buffer filter
+	// (snapshots carry the same pointer); guarded by mu, swapped at seal.
+	bufBloom *bloom.Atomic
+
 	// compactMu serializes compaction work (the background goroutine, Flush,
 	// Compact): at most one segment build is in flight at a time.
 	compactMu sync.Mutex
@@ -245,6 +357,16 @@ type Index struct {
 	domains atomic.Int64  // live domain count (= len(keySeq), readable lock-free)
 	seals   atomic.Uint64 // completed seal operations
 	merges  atomic.Uint64 // completed merge operations
+
+	// Out-of-core state (segio.go). saveMu serializes Save's spill+encode
+	// pass; retMu guards retired, the manifest-referenced files awaiting
+	// CollectGarbage; nextSegID names spilled files; spillErrors counts
+	// spills that failed (the segment then stays heap-resident).
+	saveMu      sync.Mutex
+	retMu       sync.Mutex
+	retired     []string
+	nextSegID   atomic.Uint64
+	spillErrors atomic.Uint64
 
 	// Plan cache (planner.go): generation-pinned table of per-segment
 	// banding decisions. planMu serializes publishes; reads are lock-free.
@@ -266,6 +388,8 @@ type Index struct {
 	resHits        atomic.Uint64
 	resMisses      atomic.Uint64
 	topkEarlyExits atomic.Uint64 // QueryTopK calls that stopped before the last segment
+	bufScans       atomic.Uint64 // linear buffer scans actually performed
+	bufBloomSkips  atomic.Uint64 // buffer scans skipped by the buffer Bloom filter
 
 	scratch sync.Pool // *queryScratch
 
@@ -296,6 +420,9 @@ func Build(records []core.Record, opts Options) (*Index, error) {
 	if err := opts.Options.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Mmap && opts.DataDir == "" {
+		return nil, fmt.Errorf("live: Options.Mmap requires Options.DataDir")
+	}
 	x := &Index{
 		opts:   opts,
 		tuner:  newTuner(opts),
@@ -307,7 +434,13 @@ func Build(records []core.Record, opts Options) (*Index, error) {
 	if opts.ResultCacheSize > 0 {
 		x.rc, x.rcMask = newResultCache(opts.ResultCacheSize)
 	}
-	sn := &snapshot{}
+	if opts.DataDir != "" {
+		if err := x.initDataDir(); err != nil {
+			return nil, err
+		}
+	}
+	x.bufBloom = x.newBufBloom()
+	sn := &snapshot{bufBloom: x.bufBloom}
 	if len(records) > 0 {
 		for _, r := range records {
 			if err := x.validateRecord(r); err != nil {
@@ -336,13 +469,13 @@ func Build(records []core.Record, opts Options) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		sn.segs = []*segment{{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}}
+		seg := &segment{idx: idx, seqs: seqs, meta: buildSegMeta(idx)}
+		seg.resident = heapSegmentResident(idx, seg.meta)
+		sn.segs = []*segment{x.persistSegment(seg)}
 		x.seq = uint64(len(records))
 		x.domains.Store(int64(len(recs)))
 	}
-	sn.gen, sn.segGen = 1, 1
-	sn.topkOrder = topkSegOrder(sn.segs)
-	x.snap.Store(sn)
+	x.publishInitial(sn)
 	if !opts.ManualCompaction {
 		go x.compactor()
 	} else {
@@ -401,14 +534,18 @@ func (x *Index) Add(r core.Record) (replaced bool, err error) {
 	// to a fresh array), and the longer prefix becomes visible only through
 	// the snapshot swap below.
 	x.bufBack = append(x.bufBack, entry{rec: r, seq: seq})
+	// The filter insert precedes the snapshot store, so any reader that can
+	// see this entry also sees its filter bits.
+	addBufLeads(x.bufBloom, r.Sig, x.opts.RMax)
 	bufMax := cur.bufMax
 	if r.Size > bufMax {
 		bufMax = r.Size
 	}
-	next := successor(&snapshot{segs: cur.segs, buf: x.bufBack, tombs: tombs, bufMax: bufMax}, cur, false)
-	x.snap.Store(next)
+	next := &snapshot{segs: cur.segs, buf: x.bufBack, tombs: tombs, bufMax: bufMax, bufBloom: x.bufBloom}
+	old := x.publishLocked(next, cur, false)
 	full := len(next.buf) >= x.opts.SealThreshold
 	x.mu.Unlock()
+	x.releaseSnap(old)
 
 	if full {
 		x.kick()
@@ -431,9 +568,10 @@ func (x *Index) Delete(key string) bool {
 	delete(x.keySeq, key)
 	x.domains.Add(-1)
 	cur := x.snap.Load()
-	next := successor(&snapshot{segs: cur.segs, buf: cur.buf, tombs: cloneTombs(cur.tombs, key, seq), bufMax: cur.bufMax}, cur, false)
-	x.snap.Store(next)
+	next := &snapshot{segs: cur.segs, buf: cur.buf, tombs: cloneTombs(cur.tombs, key, seq), bufMax: cur.bufMax, bufBloom: x.bufBloom}
+	old := x.publishLocked(next, cur, false)
 	x.mu.Unlock()
+	x.releaseSnap(old)
 	return true
 }
 
@@ -479,13 +617,16 @@ func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, 
 		sig = sig[:x.opts.NumHash]
 	}
 	tStar = clampThreshold(tStar)
-	sn := x.snap.Load()
+	// Pin the snapshot: a concurrent seal/merge may retire (and under mmap,
+	// unmap) segments the fan-out is still probing.
+	sn := x.acquireSnap()
 	var h uint64
 	tBits := math.Float64bits(tStar)
 	if x.rc != nil {
 		h = queryHash(sig, querySize, tBits)
 		if e := x.lookupResult(sn, sig, querySize, tBits, h); e != nil {
 			x.resHits.Add(1)
+			x.releaseSnap(sn)
 			return append(dst, e.keys...)
 		}
 		x.resMisses.Add(1)
@@ -495,6 +636,7 @@ func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, 
 	if x.rc != nil {
 		x.storeResult(sn, sig, querySize, tBits, h, dst[base:])
 	}
+	x.releaseSnap(sn)
 	return dst
 }
 
@@ -593,8 +735,27 @@ func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Sign
 	if tStar > 0 && u/q < tStar {
 		return dst
 	}
-	params := x.tuner.Optimize(u, q, tStar)
 	rMax := x.opts.RMax
+	// Buffer Bloom pre-test: a band collision at any depth r ≥ 1 needs an
+	// exact match on the band's leading value, and the filter holds every
+	// buffered entry's leading values — so an all-miss query cannot match
+	// any buffered entry and the linear scan is skipped (no false
+	// negatives, same argument as segMeta.mayCollide).
+	if sn.bufBloom != nil {
+		may := false
+		for off := 0; off < len(sig); off += rMax {
+			if sn.bufBloom.MayContainHash(sig[off]) {
+				may = true
+				break
+			}
+		}
+		if !may {
+			x.bufBloomSkips.Add(1)
+			return dst
+		}
+	}
+	x.bufScans.Add(1)
+	params := x.tuner.Optimize(u, q, tStar)
 	for i := range sn.buf {
 		e := &sn.buf[i]
 		if !sn.alive(e.rec.Key, e.seq) {
@@ -643,7 +804,8 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 	if len(queries) == 0 {
 		return rows
 	}
-	sn := x.snap.Load()
+	sn := x.acquireSnap()
+	defer x.releaseSnap(sn)
 
 	// Normalize once (clamped signatures and thresholds), resolve cache
 	// hits, and keep the indices still needing the fan-out.
@@ -742,7 +904,8 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKRe
 	if len(sig) > x.opts.NumHash {
 		sig = sig[:x.opts.NumHash]
 	}
-	sn := x.snap.Load()
+	sn := x.acquireSnap()
+	defer x.releaseSnap(sn)
 	q := float64(querySize)
 	// Tombstoned candidates are filtered after collection, so ask each
 	// segment for enough ids to survive the worst-case filtering.
@@ -821,6 +984,9 @@ type Stats struct {
 	// Seals and Merges count completed compactor operations.
 	Seals  uint64 `json:"seals"`
 	Merges uint64 `json:"merges"`
+	// SpillErrors counts segment spills that failed; the affected segments
+	// keep serving from the heap.
+	SpillErrors uint64 `json:"spill_errors,omitempty"`
 	// SegmentDetail describes every sealed segment's planner metadata, in
 	// the same order as Segments.
 	SegmentDetail []SegmentStats `json:"segment_detail,omitempty"`
@@ -841,6 +1007,15 @@ type SegmentStats struct {
 	MaxBound int `json:"max_bound"`
 	// BloomBytes is the footprint of the segment's planner Bloom filters.
 	BloomBytes int `json:"bloom_bytes"`
+	// Backing reports where the segment's probe data lives: "heap" or
+	// "mmap" (a memory-mapped segment file).
+	Backing string `json:"backing"`
+	// FileBytes is the segment's on-disk file size; 0 until spilled.
+	FileBytes int64 `json:"file_bytes"`
+	// ResidentBytes estimates the heap-resident footprint. For mapped
+	// segments only the eagerly decoded metadata counts — the signature
+	// store and tree columns page in and out on demand.
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // PlannerStats aggregates the planner's lifetime counters. Segment
@@ -863,18 +1038,25 @@ type PlannerStats struct {
 	// TopKEarlyExits counts QueryTopK calls that stopped before visiting
 	// every segment.
 	TopKEarlyExits uint64 `json:"topk_early_exits"`
+	// BufferScans / BufferBloomPruned partition the unsealed-buffer
+	// decisions: linear scans performed vs skipped because every query
+	// leading value missed the buffer's Bloom filter.
+	BufferScans       uint64 `json:"buffer_scans"`
+	BufferBloomPruned uint64 `json:"buffer_bloom_pruned"`
 }
 
 // Stats returns a consistent snapshot summary without blocking writers.
 func (x *Index) Stats() Stats {
-	sn := x.snap.Load()
+	sn := x.acquireSnap()
+	defer x.releaseSnap(sn)
 	st := Stats{
-		Domains:    x.Len(),
-		Segments:   make([]int, len(sn.segs)),
-		Buffered:   len(sn.buf),
-		Tombstones: len(sn.tombs),
-		Seals:      x.seals.Load(),
-		Merges:     x.merges.Load(),
+		Domains:     x.Len(),
+		Segments:    make([]int, len(sn.segs)),
+		Buffered:    len(sn.buf),
+		Tombstones:  len(sn.tombs),
+		Seals:       x.seals.Load(),
+		Merges:      x.merges.Load(),
+		SpillErrors: x.spillErrors.Load(),
 		Planner: PlannerStats{
 			SegmentsProbed:      x.segProbed.Load(),
 			SegmentsRangePruned: x.segRangePruned.Load(),
@@ -884,6 +1066,8 @@ func (x *Index) Stats() Stats {
 			ResultHits:          x.resHits.Load(),
 			ResultMisses:        x.resMisses.Load(),
 			TopKEarlyExits:      x.topkEarlyExits.Load(),
+			BufferScans:         x.bufScans.Load(),
+			BufferBloomPruned:   x.bufBloomSkips.Load(),
 		},
 	}
 	if len(sn.segs) > 0 {
@@ -891,12 +1075,23 @@ func (x *Index) Stats() Stats {
 	}
 	for i, seg := range sn.segs {
 		st.Segments[i] = seg.idx.Len()
+		backing := "heap"
+		if seg.back != nil && seg.back.Mapped() {
+			backing = "mmap"
+		}
+		var fileBytes int64
+		if fi := seg.finfo.Load(); fi != nil {
+			fileBytes = fi.size
+		}
 		st.SegmentDetail[i] = SegmentStats{
-			Entries:    seg.idx.Len(),
-			MinSize:    seg.meta.minSize,
-			MaxSize:    seg.meta.maxSize,
-			MaxBound:   seg.meta.maxBound,
-			BloomBytes: seg.meta.bloomBytes(),
+			Entries:       seg.idx.Len(),
+			MinSize:       seg.meta.minSize,
+			MaxSize:       seg.meta.maxSize,
+			MaxBound:      seg.meta.maxBound,
+			BloomBytes:    seg.meta.bloomBytes(),
+			Backing:       backing,
+			FileBytes:     fileBytes,
+			ResidentBytes: seg.resident,
 		}
 	}
 	for _, seg := range sn.segs {

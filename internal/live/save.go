@@ -4,7 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
+	"path/filepath"
+	"sort"
 
 	"lshensemble/internal/bloom"
 	"lshensemble/internal/core"
@@ -15,44 +18,81 @@ import (
 //
 //	magic "LIVE" | version u32
 //	numHash u32 | rMax u32 | seq u64
-//	nsegs u32, per segment: n u32, seqs [n]u64, core index bytes (self-framed),
-//	    and from version 2 the planner metadata:
-//	    minSize u64 | maxSize u64 | maxBound u64 | keys bloom | leads bloom
+//	nsegs u32, per segment (v3 leads each with a kind byte):
+//	    kind 0 (inline): n u32, seqs [n]u64, core index bytes (self-framed),
+//	        and from version 2 the planner metadata:
+//	        minSize u64 | maxSize u64 | maxBound u64 | keys bloom | leads bloom
+//	    kind 1 (segment-file reference, v3 only):
+//	        namelen u32 | name | fileSize u64 | headerCRC u64
 //	nbuf u32, per entry: seq u64, keylen u32, key, size u64, sig [numHash]u64
 //	ntombs u32, per tombstone: keylen u32, key, seq u64
+//	crc u64 (v3 only: crc64-ECMA over every preceding byte of the encoding)
 //
 // Version history: v1 predates the query planner and carries no segment
 // metadata; v2 appends it per segment so a load does not pay to re-derive
-// the Bloom filters. Load accepts both — a v1 snapshot rebuilds its
+// the Bloom filters; v3 is the out-of-core manifest — a spilled segment is
+// referenced by file name (resolved against Options.DataDir and verified by
+// size and header checksum) instead of being embedded, tombstones are
+// written in sorted key order so equal states encode byte-identically, and
+// a trailing checksum rejects truncation or corruption anywhere in the
+// snapshot. A v3 segment without a file (no DataDir, or its spill failed)
+// falls back to the v2-style inline block per segment, so Save can always
+// encode. Load accepts all three versions — a v1 snapshot rebuilds its
 // metadata from the decoded segments (buildSegMeta is a pure function of
 // the core index, so the rebuilt planner state is identical to what seal
 // time would have produced). Save always writes the current version.
 //
 // Save serializes a point-in-time snapshot: it is safe to call while
 // writers and the compactor run (they publish new snapshots; the one being
-// written stays frozen). Load rebuilds the writer-side state (key → seq
-// map, live count) by replaying the tombstones over the entries.
+// written stays frozen). With DataDir set it first spills any segment that
+// has no file yet, so the manifest it writes is self-contained. Load
+// rebuilds the writer-side state (key → seq map, live count) by replaying
+// the tombstones over the entries.
 
 var liveMagic = [4]byte{'L', 'I', 'V', 'E'}
 
 const (
-	liveVersion   = 2
+	liveVersion   = 3
 	liveVersionV1 = 1 // pre-planner: no per-segment metadata block
+	liveVersionV2 = 2 // inline planner metadata, no manifest
+)
+
+// Segment kind bytes of the v3 encoding.
+const (
+	segKindInline  = 0
+	segKindFileRef = 1
 )
 
 // ErrCorrupt reports a malformed live-snapshot encoding.
 var ErrCorrupt = errors.New("live: corrupt snapshot encoding")
 
-// AppendBinary appends the index's snapshot encoding to buf.
+// AppendBinary appends the index's snapshot encoding (a v3 manifest) to
+// buf. With DataDir set it first writes a segment file for every segment
+// that lacks one, so the manifest references files instead of embedding
+// megabytes of segment bytes; the files it references are protected from
+// deletion until CollectGarbage. Concurrent Saves serialize on saveMu.
 func (x *Index) AppendBinary(buf []byte) []byte {
+	x.saveMu.Lock()
+	defer x.saveMu.Unlock()
+	if x.opts.DataDir != "" {
+		// A seal/merge racing past this point publishes a segment this save
+		// won't see; a segment it does see but that gained no file (spill
+		// error) is inlined below. Either way the encoding is complete.
+		x.spillAll()
+	}
+
 	// seq and the snapshot must agree (seq covers every mutation the
 	// snapshot shows); taking the writer mutex for the two loads is the only
-	// place the save path touches it.
+	// place the save path touches it. The snapshot is pinned so its mapped
+	// segments cannot retire while being encoded.
 	x.mu.Lock()
 	sn := x.snap.Load()
+	sn.refs.Add(1) // under mu no publish can race: plain acquire
 	seq := x.seq
 	x.mu.Unlock()
+	defer x.releaseSnap(sn)
 
+	start := len(buf)
 	buf = append(buf, liveMagic[:]...)
 	buf = binary.LittleEndian.AppendUint32(buf, liveVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumHash))
@@ -60,16 +100,27 @@ func (x *Index) AppendBinary(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.segs)))
 	for _, seg := range sn.segs {
+		if fi := seg.finfo.Load(); fi != nil && x.opts.DataDir != "" {
+			name := filepath.Base(fi.path)
+			buf = append(buf, segKindFileRef)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(name)))
+			buf = append(buf, name...)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(fi.size))
+			buf = binary.LittleEndian.AppendUint64(buf, fi.headerCRC)
+			// From here the file is manifest-referenced: retirement must
+			// defer its deletion to CollectGarbage even if the caller never
+			// persists this encoding (conservative direction — files only
+			// live longer).
+			seg.inManifest.Store(true)
+			continue
+		}
+		buf = append(buf, segKindInline)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seg.seqs)))
 		for _, s := range seg.seqs {
 			buf = binary.LittleEndian.AppendUint64(buf, s)
 		}
 		buf = seg.idx.AppendBinary(buf)
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.minSize))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.maxSize))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(seg.meta.maxBound))
-		buf = seg.meta.keys.AppendBinary(buf)
-		buf = seg.meta.leads.AppendBinary(buf)
+		buf = appendSegMeta(buf, seg.meta)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.buf)))
 	for i := range sn.buf {
@@ -82,13 +133,20 @@ func (x *Index) AppendBinary(buf []byte) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, v)
 		}
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.tombs)))
-	for k, s := range sn.tombs {
+	// Tombstones in sorted key order: map iteration is randomized, and v3
+	// promises byte-deterministic encodings of equal states.
+	tombKeys := make([]string, 0, len(sn.tombs))
+	for k := range sn.tombs {
+		tombKeys = append(tombKeys, k)
+	}
+	sort.Strings(tombKeys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tombKeys)))
+	for _, k := range tombKeys {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
 		buf = append(buf, k...)
-		buf = binary.LittleEndian.AppendUint64(buf, s)
+		buf = binary.LittleEndian.AppendUint64(buf, sn.tombs[k])
 	}
-	return buf
+	return binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf[start:], crcTable))
 }
 
 // Save writes the index's snapshot encoding to w. See AppendBinary for the
@@ -120,9 +178,18 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		return nil, ErrCorrupt
 	}
 	version := binary.LittleEndian.Uint32(buf[4:])
-	if version != liveVersionV1 && version != liveVersion {
-		return nil, fmt.Errorf("live: snapshot version %d, want %d or %d: %w",
+	if version < liveVersionV1 || version > liveVersion {
+		return nil, fmt.Errorf("live: snapshot version %d, want %d..%d: %w",
 			version, liveVersionV1, liveVersion, ErrCorrupt)
+	}
+	if version >= 3 {
+		// The whole v3 encoding is covered by a trailing checksum, so any
+		// truncation or corruption is rejected before structural parsing.
+		if len(buf) < 32 ||
+			crc64.Checksum(buf[:len(buf)-8], crcTable) != binary.LittleEndian.Uint64(buf[len(buf)-8:]) {
+			return nil, fmt.Errorf("live: snapshot checksum mismatch: %w", ErrCorrupt)
+		}
+		buf = buf[:len(buf)-8]
 	}
 	numHash := int(binary.LittleEndian.Uint32(buf[8:]))
 	rMax := int(binary.LittleEndian.Uint32(buf[12:]))
@@ -140,6 +207,9 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		return nil, err
 	}
 
+	if opts.Mmap && opts.DataDir == "" {
+		return nil, fmt.Errorf("live: Options.Mmap requires Options.DataDir")
+	}
 	x := &Index{
 		opts:   opts,
 		keySeq: make(map[string]uint64),
@@ -151,54 +221,105 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 	if opts.ResultCacheSize > 0 {
 		x.rc, x.rcMask = newResultCache(opts.ResultCacheSize)
 	}
+	if opts.DataDir != "" {
+		if err := x.initDataDir(); err != nil {
+			return nil, err
+		}
+	}
 
 	sn := &snapshot{}
+	referenced := make(map[string]bool)
 	nsegs, buf, err := readCount(buf)
 	if err != nil {
 		return nil, err
 	}
 	for i := 0; i < nsegs; i++ {
-		var n int
-		n, buf, err = readCount(buf)
-		if err != nil {
-			return nil, err
-		}
-		if len(buf) < 8*n {
-			return nil, ErrCorrupt
-		}
-		seqs := make([]uint64, n)
-		for j := range seqs {
-			seqs[j] = binary.LittleEndian.Uint64(buf)
-			buf = buf[8:]
-			if j > 0 && seqs[j] <= seqs[j-1] {
-				return nil, fmt.Errorf("live: segment %d seqs not ascending: %w", i, ErrCorrupt)
+		kind := byte(segKindInline)
+		if version >= 3 {
+			if len(buf) < 1 {
+				return nil, ErrCorrupt
 			}
+			kind, buf = buf[0], buf[1:]
 		}
-		idx, rest, err := core.Decode(buf)
-		if err != nil {
-			return nil, err
-		}
-		buf = rest
-		if idx.Len() != n {
-			return nil, fmt.Errorf("live: segment %d holds %d entries, %d seqs: %w", i, idx.Len(), n, ErrCorrupt)
-		}
-		if n == 0 {
-			return nil, fmt.Errorf("live: segment %d is empty: %w", i, ErrCorrupt)
-		}
-		if o := idx.Options(); o.NumHash != numHash || o.RMax != rMax {
-			return nil, fmt.Errorf("live: segment %d shape (%d, %d) != header (%d, %d): %w",
-				i, o.NumHash, o.RMax, numHash, rMax, ErrCorrupt)
-		}
-		var meta *segMeta
-		if version >= 2 {
-			meta, buf, err = decodeSegMeta(buf)
+		switch kind {
+		case segKindInline:
+			var n int
+			n, buf, err = readCount(buf)
 			if err != nil {
-				return nil, fmt.Errorf("live: segment %d metadata: %w", i, err)
+				return nil, err
 			}
-		} else {
-			meta = buildSegMeta(idx)
+			if len(buf) < 8*n {
+				return nil, ErrCorrupt
+			}
+			seqs := make([]uint64, n)
+			for j := range seqs {
+				seqs[j] = binary.LittleEndian.Uint64(buf)
+				buf = buf[8:]
+				if j > 0 && seqs[j] <= seqs[j-1] {
+					return nil, fmt.Errorf("live: segment %d seqs not ascending: %w", i, ErrCorrupt)
+				}
+			}
+			idx, rest, err := core.Decode(buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = rest
+			if idx.Len() != n {
+				return nil, fmt.Errorf("live: segment %d holds %d entries, %d seqs: %w", i, idx.Len(), n, ErrCorrupt)
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("live: segment %d is empty: %w", i, ErrCorrupt)
+			}
+			if o := idx.Options(); o.NumHash != numHash || o.RMax != rMax {
+				return nil, fmt.Errorf("live: segment %d shape (%d, %d) != header (%d, %d): %w",
+					i, o.NumHash, o.RMax, numHash, rMax, ErrCorrupt)
+			}
+			var meta *segMeta
+			if version >= 2 {
+				meta, buf, err = decodeSegMeta(buf)
+				if err != nil {
+					return nil, fmt.Errorf("live: segment %d metadata: %w", i, err)
+				}
+			} else {
+				meta = buildSegMeta(idx)
+			}
+			seg := &segment{idx: idx, seqs: seqs, meta: meta}
+			seg.resident = heapSegmentResident(idx, meta)
+			sn.segs = append(sn.segs, seg)
+
+		case segKindFileRef:
+			if opts.DataDir == "" {
+				return nil, fmt.Errorf("live: snapshot references segment files but Options.DataDir is empty")
+			}
+			if len(buf) < 4 {
+				return nil, ErrCorrupt
+			}
+			nameLen := int(binary.LittleEndian.Uint32(buf))
+			buf = buf[4:]
+			if nameLen < 0 || nameLen > len(buf) || len(buf) < nameLen+16 {
+				return nil, ErrCorrupt
+			}
+			name := string(buf[:nameLen])
+			fileSize := int64(binary.LittleEndian.Uint64(buf[nameLen:]))
+			headerCRC := binary.LittleEndian.Uint64(buf[nameLen+8:])
+			buf = buf[nameLen+16:]
+			if !validSegFileName(name) {
+				return nil, fmt.Errorf("live: segment %d references invalid file name %q: %w", i, name, ErrCorrupt)
+			}
+			fi := &segFileInfo{path: filepath.Join(opts.DataDir, name), size: fileSize, headerCRC: headerCRC}
+			seg, err := x.openSegmentFile(fi, true)
+			if err != nil {
+				return nil, fmt.Errorf("live: segment %d (%s): %w", i, name, err)
+			}
+			// The on-disk manifest this snapshot came from references the
+			// file, so retirement must route through CollectGarbage.
+			seg.inManifest.Store(true)
+			referenced[name] = true
+			sn.segs = append(sn.segs, seg)
+
+		default:
+			return nil, fmt.Errorf("live: segment %d has unknown kind %d: %w", i, kind, ErrCorrupt)
 		}
-		sn.segs = append(sn.segs, &segment{idx: idx, seqs: seqs, meta: meta})
 	}
 	nbuf, buf, err := readCount(buf)
 	if err != nil {
@@ -235,6 +356,11 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		}
 	}
 	sn.buf = x.bufBack
+	x.bufBloom = x.newBufBloom()
+	for i := range sn.buf {
+		addBufLeads(x.bufBloom, sn.buf[i].rec.Sig, rMax)
+	}
+	sn.bufBloom = x.bufBloom
 	ntombs, buf, err := readCount(buf)
 	if err != nil {
 		return nil, err
@@ -293,9 +419,12 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 			x.seq = s
 		}
 	}
-	sn.gen, sn.segGen = 1, 1
-	sn.topkOrder = topkSegOrder(sn.segs)
-	x.snap.Store(sn)
+	if opts.DataDir != "" {
+		// Anything in the data directory the manifest does not reference is a
+		// leftover from a crashed spill or an unpersisted save: remove it.
+		x.sweepDataDir(referenced)
+	}
+	x.publishInitial(sn)
 	if !opts.ManualCompaction {
 		go x.compactor()
 		if len(sn.buf) >= opts.SealThreshold {

@@ -47,6 +47,7 @@ type Forest struct {
 	treeKeys [][]uint64 // per tree: leading hash value of each sorted slot (contiguous search column)
 
 	indexed bool
+	view    bool // FromView forest over external (possibly mapped) storage: mutation panics
 }
 
 // New constructs a forest for signatures of numHash values with trees of
@@ -88,6 +89,9 @@ func (f *Forest) Indexed() bool { return f.indexed }
 // store every doubling). Reserve never shrinks and is a no-op when capacity
 // already suffices.
 func (f *Forest) Reserve(n int) {
+	if f.view {
+		panic("lshforest: Reserve on a read-only view")
+	}
 	if n <= 0 {
 		return
 	}
@@ -107,6 +111,9 @@ func (f *Forest) Reserve(n int) {
 // forest's contiguous backing store; the caller keeps ownership of sig. Add
 // invalidates the index; call Index before querying again.
 func (f *Forest) Add(id uint32, sig []uint64) {
+	if f.view {
+		panic("lshforest: Add on a read-only view")
+	}
 	if len(sig) < f.bMax*f.rMax {
 		panic(fmt.Sprintf("lshforest: signature length %d < required %d", len(sig), f.bMax*f.rMax))
 	}
@@ -161,6 +168,11 @@ func (s *SortScratch) grow(n int) {
 // any goroutine, each index exactly once), followed by one FinishTrees.
 // Index and IndexParallel wrap this sequence.
 func (f *Forest) PrepareTrees() int {
+	if f.view {
+		// Rebuilding would write into the externally owned (possibly mapped
+		// read-only) order/column arrays.
+		panic("lshforest: PrepareTrees on a read-only view")
+	}
 	if len(f.ids) == 0 {
 		f.indexed = true
 		return 0

@@ -1,0 +1,70 @@
+package lshforest
+
+import "fmt"
+
+// This file is the out-of-core seam of the forest: accessors that expose the
+// flat storage layout (contiguous signature store, per-tree sorted orders and
+// leading-value columns) so internal/live can persist a built forest into a
+// segment file, and FromView, which reassembles an indexed forest directly
+// over such persisted arrays — possibly zero-copy views of a memory-mapped
+// file (internal/segfile). Nothing here reads the store contents, so opening
+// a mapped segment faults no signature pages.
+
+// IDs returns the caller-assigned id of every entry in insertion order as a
+// read-only view (full-slice expression: appends cannot clobber the store).
+func (f *Forest) IDs() []uint32 { return f.ids[:len(f.ids):len(f.ids)] }
+
+// StoreRaw returns the contiguous signature backing store (stride NumHash)
+// as a read-only view. Together with IDs, Tree and TreeLeadingColumn this is
+// exactly the state FromView consumes, so a built forest round-trips through
+// persistence without re-sorting.
+func (f *Forest) StoreRaw() []uint64 { return f.store[:len(f.store):len(f.store)] }
+
+// Tree returns tree t's sorted slot order as a read-only view. Like
+// TreeLeadingColumn it panics if the forest has not been indexed.
+func (f *Forest) Tree(t int) []uint32 {
+	if !f.indexed {
+		panic("lshforest: Tree called before Index")
+	}
+	if t < 0 || t >= f.bMax {
+		panic(fmt.Sprintf("lshforest: tree %d out of range [0, %d)", t, f.bMax))
+	}
+	if len(f.ids) == 0 {
+		return nil
+	}
+	o := f.trees[t]
+	return o[:len(o):len(o)]
+}
+
+// FromView reassembles an indexed forest over externally owned storage. The
+// slices must satisfy the invariants Index would have established: len(store)
+// == len(ids)*numHash; one order and one leading-value column per tree, each
+// of len(ids), with column c[i] == store[order[i]*numHash + t*rMax] and the
+// column sorted by the tree's full hash vector. Only lengths are validated —
+// verifying contents would fault every lazily mapped page, defeating the
+// point; a checksummed loader (internal/live's segment files) is expected to
+// guard the bytes instead. The returned forest is a read-only view: Add,
+// Reserve and tree rebuilds panic.
+func FromView(numHash, rMax int, ids []uint32, store []uint64, trees [][]uint32, treeKeys [][]uint64) (*Forest, error) {
+	f := New(numHash, rMax)
+	if len(store) != len(ids)*numHash {
+		return nil, fmt.Errorf("lshforest: view store has %d values, want %d ids × %d hashes", len(store), len(ids), numHash)
+	}
+	if len(ids) > 0 {
+		if len(trees) != f.bMax || len(treeKeys) != f.bMax {
+			return nil, fmt.Errorf("lshforest: view has %d orders / %d columns, want %d trees", len(trees), len(treeKeys), f.bMax)
+		}
+		for t := 0; t < f.bMax; t++ {
+			if len(trees[t]) != len(ids) || len(treeKeys[t]) != len(ids) {
+				return nil, fmt.Errorf("lshforest: view tree %d has %d/%d entries, want %d", t, len(trees[t]), len(treeKeys[t]), len(ids))
+			}
+		}
+		f.trees = trees
+		f.treeKeys = treeKeys
+	}
+	f.ids = ids
+	f.store = store
+	f.view = true
+	f.indexed = true
+	return f, nil
+}

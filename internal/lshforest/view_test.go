@@ -1,0 +1,123 @@
+package lshforest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomForest returns an indexed forest over n random signatures and
+// the signatures themselves (by id).
+func buildRandomForest(t *testing.T, n, numHash, rMax int, seed int64) (*Forest, [][]uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := New(numHash, rMax)
+	f.Reserve(n)
+	sigs := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		sig := make([]uint64, numHash)
+		for j := range sig {
+			sig[j] = rng.Uint64() >> 16 // narrow range → real collisions
+		}
+		sigs[i] = sig
+		f.Add(uint32(i), sig)
+	}
+	f.Index()
+	return f, sigs
+}
+
+// TestFromViewQueryEquivalence rebuilds a forest from its own exported flat
+// arrays and checks that every query answers identically — the exact
+// contract segment-file loading relies on.
+func TestFromViewQueryEquivalence(t *testing.T) {
+	const n, numHash, rMax = 300, 32, 4
+	f, sigs := buildRandomForest(t, n, numHash, rMax, 7)
+
+	trees := make([][]uint32, f.BMax())
+	cols := make([][]uint64, f.BMax())
+	for tr := 0; tr < f.BMax(); tr++ {
+		trees[tr] = f.Tree(tr)
+		cols[tr] = f.TreeLeadingColumn(tr)
+	}
+	v, err := FromView(numHash, rMax, f.IDs(), f.StoreRaw(), trees, cols)
+	if err != nil {
+		t.Fatalf("FromView: %v", err)
+	}
+	if v.Len() != n || !v.Indexed() {
+		t.Fatalf("view Len=%d Indexed=%v", v.Len(), v.Indexed())
+	}
+
+	collect := func(fr *Forest, sig []uint64, b, r int) map[uint32]bool {
+		got := map[uint32]bool{}
+		fr.Query(sig, b, r, func(id uint32) bool {
+			got[id] = true
+			return true
+		})
+		return got
+	}
+	for qi := 0; qi < 50; qi++ {
+		sig := sigs[qi*5%n]
+		for _, br := range [][2]int{{1, 1}, {4, 2}, {8, 4}, {f.BMax(), rMax}} {
+			b, r := br[0], br[1]
+			want := collect(f, sig, b, r)
+			got := collect(v, sig, b, r)
+			if len(got) != len(want) {
+				t.Fatalf("query %d (b=%d r=%d): view found %d ids, original %d", qi, b, r, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("query %d (b=%d r=%d): view missed id %d", qi, b, r, id)
+				}
+			}
+		}
+	}
+}
+
+func TestFromViewEmpty(t *testing.T) {
+	v, err := FromView(16, 4, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("FromView empty: %v", err)
+	}
+	if v.Len() != 0 || !v.Indexed() {
+		t.Fatalf("empty view Len=%d Indexed=%v", v.Len(), v.Indexed())
+	}
+	v.Query(make([]uint64, 16), 4, 4, func(uint32) bool {
+		t.Fatal("empty view yielded a match")
+		return false
+	})
+}
+
+func TestFromViewRejectsShapeMismatch(t *testing.T) {
+	ids := []uint32{0, 1}
+	if _, err := FromView(8, 4, ids, make([]uint64, 15), nil, nil); err == nil {
+		t.Fatal("store length mismatch accepted")
+	}
+	if _, err := FromView(8, 4, ids, make([]uint64, 16), [][]uint32{{0, 1}}, [][]uint64{{0, 0}}); err == nil {
+		t.Fatal("tree count mismatch accepted")
+	}
+}
+
+func TestViewMutationPanics(t *testing.T) {
+	f, _ := buildRandomForest(t, 10, 16, 4, 3)
+	trees := make([][]uint32, f.BMax())
+	cols := make([][]uint64, f.BMax())
+	for tr := 0; tr < f.BMax(); tr++ {
+		trees[tr] = f.Tree(tr)
+		cols[tr] = f.TreeLeadingColumn(tr)
+	}
+	v, err := FromView(16, 4, f.IDs(), f.StoreRaw(), trees, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a view did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Add", func() { v.Add(99, make([]uint64, 16)) })
+	mustPanic("Reserve", func() { v.Reserve(100) })
+	mustPanic("PrepareTrees", func() { v.PrepareTrees() })
+}

@@ -1,0 +1,13 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package segfile
+
+// Big-endian hosts cannot view the little-endian on-disk arrays in place, so
+// every typed view decodes into a fresh heap slice. Correct but not
+// zero-copy; the out-of-core path then behaves like an eager load.
+
+// Uint64s decodes b, a little-endian u64 array, into a fresh []uint64.
+func Uint64s(b []byte) []uint64 { return decodeUint64s(b) }
+
+// Uint32s decodes b, a little-endian u32 array, into a fresh []uint32.
+func Uint32s(b []byte) []uint32 { return decodeUint32s(b) }

@@ -1,0 +1,37 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package segfile
+
+import "unsafe"
+
+// On little-endian hosts the on-disk little-endian arrays can be viewed in
+// place: a segment file's signature store and tree columns become []uint64 /
+// []uint32 headers over the mapped bytes, so opening a segment touches no
+// data pages. Misaligned input (possible when a caller embeds an image at an
+// arbitrary offset of a larger buffer) falls back to the decoding copy —
+// semantically identical, just not zero-copy.
+
+// Uint64s views b, a little-endian u64 array whose length is a multiple of
+// 8, as []uint64. The result aliases b when zero-copy applies; callers must
+// treat it as read-only and must not outlive b's backing.
+func Uint64s(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+		return decodeUint64s(b)
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// Uint32s views b, a little-endian u32 array whose length is a multiple of
+// 4, as []uint32, under the same aliasing rules as Uint64s.
+func Uint32s(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		return decodeUint32s(b)
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

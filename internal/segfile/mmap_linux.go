@@ -1,0 +1,45 @@
+//go:build linux
+
+package segfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMapped maps the file read-only with mmap(2). The stdlib syscall
+// package is used deliberately: the repo carries no module dependencies, and
+// syscall.Mmap is the same call golang.org/x/sys/unix would make.
+func openMapped(path string) (*Backing, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects zero-length mappings; an empty file has no pages to
+		// share anyway.
+		return &Backing{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("segfile: %s (%d bytes) exceeds the addressable mapping size", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("segfile: mmap %s: %w", path, err)
+	}
+	return &Backing{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package segfile
+
+// Non-Linux builds serve "mapped" opens from a heap read: callers observe
+// identical bytes and an identical API, they just don't get lazy page
+// faulting. Mapped() reports false so observability (Stats backing kind)
+// stays truthful.
+func openMapped(path string) (*Backing, error) { return OpenHeap(path) }
+
+func munmap([]byte) error { return nil }

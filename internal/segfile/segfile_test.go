@@ -1,0 +1,171 @@
+package segfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := []byte("first contents")
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+
+	// Replacing an existing file must leave exactly the new contents.
+	want = []byte("second, longer contents entirely")
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatalf("WriteAtomic replace: %v", err)
+	}
+	if got, _ = os.ReadFile(path); !bytes.Equal(got, want) {
+		t.Fatalf("after replace read %q, want %q", got, want)
+	}
+
+	// No temp files may survive a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "blob" {
+			t.Fatalf("leftover file %q after WriteAtomic", e.Name())
+		}
+	}
+}
+
+func TestOpenHeapAndMappedAgree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	data := make([]byte, 4096+123) // deliberately not page-sized
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := WriteAtomic(path, data); err != nil {
+		t.Fatal(err)
+	}
+
+	heap, err := OpenHeap(path)
+	if err != nil {
+		t.Fatalf("OpenHeap: %v", err)
+	}
+	defer heap.Close()
+	mapped, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mapped.Close()
+
+	if heap.Mapped() {
+		t.Fatal("OpenHeap returned a mapped backing")
+	}
+	if !bytes.Equal(heap.Bytes(), data) {
+		t.Fatal("heap bytes differ from file contents")
+	}
+	if !bytes.Equal(mapped.Bytes(), data) {
+		t.Fatal("mapped bytes differ from file contents")
+	}
+	if heap.Len() != len(data) || mapped.Len() != len(data) {
+		t.Fatalf("Len() = %d / %d, want %d", heap.Len(), mapped.Len(), len(data))
+	}
+}
+
+func TestCloseIdempotentAndNilSafe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := WriteAtomic(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, open := range []func(string) (*Backing, error){OpenHeap, OpenMapped} {
+		b, err := open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+	var nilBack *Backing
+	if err := nilBack.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestEmptyFileMaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := WriteAtomic(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped on empty file: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", b.Len())
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCastsMatchPortableDecode checks the zero-copy casts against the
+// explicit little-endian decode at every alignment offset, so the
+// aligned fast path and the misaligned copy fallback both get exercised
+// regardless of where the allocator puts the buffer.
+func TestCastsMatchPortableDecode(t *testing.T) {
+	raw := make([]byte, 8*17+8)
+	for i := range raw {
+		raw[i] = byte(i*97 + 13)
+	}
+	for off := 0; off < 8; off++ {
+		b := raw[off : off+8*16]
+		want64 := decodeUint64s(b)
+		got64 := Uint64s(b)
+		if len(got64) != len(want64) {
+			t.Fatalf("off %d: Uint64s len %d, want %d", off, len(got64), len(want64))
+		}
+		for i := range want64 {
+			if got64[i] != want64[i] {
+				t.Fatalf("off %d: Uint64s[%d] = %#x, want %#x", off, i, got64[i], want64[i])
+			}
+		}
+		b32 := raw[off : off+4*16]
+		want32 := decodeUint32s(b32)
+		got32 := Uint32s(b32)
+		for i := range want32 {
+			if got32[i] != want32[i] {
+				t.Fatalf("off %d: Uint32s[%d] = %#x, want %#x", off, i, got32[i], want32[i])
+			}
+		}
+	}
+	if Uint64s(nil) != nil || Uint32s(nil) != nil {
+		t.Fatal("casts of empty input must be nil")
+	}
+}
+
+// TestCastsSeeWrittenValues round-trips typed values through the on-disk
+// encoding: put with binary.LittleEndian, read back through the casts.
+func TestCastsSeeWrittenValues(t *testing.T) {
+	vals := []uint64{0, 1, 1<<63 - 1, ^uint64(0), 0xdeadbeefcafebabe}
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	got := Uint64s(b)
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("Uint64s[%d] = %#x, want %#x", i, got[i], v)
+		}
+	}
+}
