@@ -1,7 +1,9 @@
 // Command lshensembled serves an LSH Ensemble over HTTP as a live system:
 // domains stream in and out while queries keep flowing — ingest never
 // blocks a query (the index publishes atomically-swapped snapshots; see
-// internal/live).
+// internal/live). The handler set lives in internal/serve; cmd/lshrouter
+// shards this daemon horizontally by running N of them behind a
+// consistent-hash scatter-gather router speaking the same wire protocol.
 //
 // Endpoints (JSON bodies unless noted):
 //
@@ -36,6 +38,14 @@
 // stores, and resident memory tracks the queried working set instead of the
 // corpus ("resident_bytes" vs "file_bytes" per segment in /stats).
 //
+// Query handlers honor request cancellation: a client that disconnects (or
+// a router whose per-shard deadline expires) stops the in-flight query or
+// batch instead of running it to completion. The listener itself is
+// hardened against slow clients — header reads, body reads and idle
+// keep-alives all time out (-read-header-timeout, -read-timeout,
+// -write-timeout, -idle-timeout), so a slowloris peer cannot pin
+// connections forever.
+//
 // Usage:
 //
 //	lshensembled [-addr :7447] [-hashes 256] [-rmax 8] [-partitions 16]
@@ -43,6 +53,8 @@
 //	             [-snapshot /var/lib/lshensembled/index.snap]
 //	             [-data-dir /var/lib/lshensembled] [-mmap]
 //	             [-no-prune] [-no-plan-cache] [-result-cache 1024]
+//	             [-read-header-timeout 10s] [-read-timeout 1m]
+//	             [-write-timeout 2m] [-idle-timeout 2m]
 //
 // The planner escape hatches exist for A/B measurement and debugging:
 // -no-prune disables segment Bloom/range pruning and top-k early
@@ -64,9 +76,22 @@ import (
 	"time"
 
 	"lshensemble"
+	"lshensemble/internal/serve"
 )
 
 func main() {
+	// All real work happens in run so its defers — most importantly
+	// idx.Close, which unmaps segment files and stops the compactor — run on
+	// every exit path. log.Fatalf here would skip them (os.Exit runs no
+	// defers), which is exactly how the old daemon leaked mmap'd segments
+	// when saving the shutdown snapshot failed.
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":7447", "listen address")
 	hashes := flag.Int("hashes", 256, "MinHash signature length")
 	rMax := flag.Int("rmax", 8, "LSH forest tree depth")
@@ -80,10 +105,14 @@ func main() {
 	noPrune := flag.Bool("no-prune", false, "disable segment Bloom/range pruning and top-k early termination (A/B escape hatch)")
 	noPlanCache := flag.Bool("no-plan-cache", false, "disable the per-snapshot (b, r) plan cache (A/B escape hatch)")
 	resultCache := flag.Int("result-cache", 1024, "result-cache capacity in entries (0 disables)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time limit for reading request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "time limit for reading an entire request, body included")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "time limit for writing a response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
 	flag.Parse()
 
 	if *mmap && *dataDir == "" {
-		log.Fatal("-mmap requires -data-dir")
+		return errors.New("-mmap requires -data-dir")
 	}
 	if *snapshot == "" && *dataDir != "" {
 		*snapshot = filepath.Join(*dataDir, "MANIFEST")
@@ -111,20 +140,20 @@ func main() {
 	var idx *lshensemble.LiveIndex
 	if *snapshot != "" {
 		if _, err := os.Stat(*snapshot); err == nil {
-			loaded, err := loadSnapshot(*snapshot, *seed, opts)
+			loaded, err := serve.LoadSnapshot(*snapshot, *seed, opts)
 			if err != nil {
-				log.Fatalf("loading snapshot %s: %v", *snapshot, err)
+				return fmt.Errorf("loading snapshot %s: %w", *snapshot, err)
 			}
 			idx = loaded
 			log.Printf("warm start: %d domains from %s", idx.Len(), *snapshot)
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("checking snapshot %s: %v", *snapshot, err)
+			return fmt.Errorf("checking snapshot %s: %w", *snapshot, err)
 		}
 	}
 	if idx == nil {
 		fresh, err := lshensemble.BuildLive(nil, opts)
 		if err != nil {
-			log.Fatalf("initializing index: %v", err)
+			return fmt.Errorf("initializing index: %w", err)
 		}
 		idx = fresh
 		log.Print("cold start: empty index")
@@ -132,8 +161,18 @@ func main() {
 	defer idx.Close()
 
 	hasher := lshensemble.NewHasher(*hashes, *seed)
-	srv := newServer(idx, hasher, *seed, *snapshot)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	srv := serve.New(idx, hasher, *seed, *snapshot)
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Without these limits a slowloris client — one that trickles header
+		// or body bytes forever — pins a connection (and its goroutine) for
+		// the life of the process.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -148,7 +187,7 @@ func main() {
 	case sig := <-stop:
 		log.Printf("received %s, shutting down", sig)
 	case err := <-errc:
-		log.Fatalf("serving: %v", err)
+		return fmt.Errorf("serving: %w", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -157,12 +196,17 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	if *snapshot != "" {
-		n, err := srv.saveSnapshot()
+		n, err := srv.SaveSnapshot()
 		if err != nil {
-			log.Fatalf("saving snapshot: %v", err)
+			// Returning (instead of the old log.Fatalf) lets idx.Close run —
+			// segment mappings are released and the compactor drains — while
+			// the process still exits non-zero on the path where durability
+			// just failed.
+			return fmt.Errorf("saving snapshot: %w", err)
 		}
 		log.Printf("saved %s (%s, %d domains)", *snapshot, byteCount(n), idx.Len())
 	}
+	return nil
 }
 
 func byteCount(n int) string {

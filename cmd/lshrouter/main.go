@@ -1,0 +1,135 @@
+// Command lshrouter is a stateless scatter-gather router in front of a
+// fleet of lshensembled shards — the horizontal-scaling tier: each shard
+// holds a slice of the corpus, and the router makes the fleet answer like
+// one big index.
+//
+// Writes route by consistent hashing: a key's owners are derived from a
+// vnode ring over the live shards with deterministic bounded-load capping
+// (no shard owns more than load-factor/N of the keyspace), so any number of
+// stateless router instances agree on placement without coordinating.
+// -replication ≥ 2 writes every key to that many distinct shards, so one
+// shard death loses nothing.
+//
+// Queries scatter to every live shard under a per-shard deadline and merge:
+// /query unions and dedups by key, /query/topk keeps each key's best
+// estimated containment and re-ranks, /query/batch unions row by row. A
+// shard that is slow or dead contributes nothing and flips "partial": true
+// in the response (with the shard named in "failed") — the router degrades,
+// it does not error. Only a total blackout is a 5xx.
+//
+// A background checker probes every shard's /healthz; -health-fail
+// consecutive misses demote a shard from the ring (one success promotes it
+// back). Demotion re-routes new writes; data the dead shard held stays
+// missing until the shard returns or an operator boots a replacement from
+// its snapshot — shard handoff is just lshensembled's -snapshot/-data-dir
+// persistence: start the new shard on the old shard's manifest and segment
+// files (same -seed) and re-list it.
+//
+// Usage:
+//
+//	lshrouter -shards http://10.0.0.1:7447,http://10.0.0.2:7447 \
+//	          [-addr :7446] [-replication 1] [-vnodes 64] [-load-factor 1.25] \
+//	          [-shard-timeout 2s] [-health-interval 2s] [-health-fail 2] \
+//	          [-read-header-timeout 10s] [-read-timeout 1m] \
+//	          [-write-timeout 2m] [-idle-timeout 2m]
+//
+// All shards must run the same -seed and -hashes, or their signatures are
+// incomparable; the router's /stats surfaces each shard's values so a
+// mismatched fleet is visible at a glance.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lshensemble/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":7446", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (required)")
+	replication := flag.Int("replication", 1, "distinct shards owning each key")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load cap: max keyspace share per shard as a multiple of 1/N (≥ 1)")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-shard deadline on forwarded and scattered requests")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "how often to probe shard /healthz")
+	healthFail := flag.Int("health-fail", 2, "consecutive probe failures that demote a shard from the ring")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time limit for reading request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "time limit for reading an entire request, body included")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "time limit for writing a response")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
+	flag.Parse()
+
+	if *shards == "" {
+		return errors.New("-shards is required (comma-separated base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	router, err := cluster.NewRouter(urls, cluster.Options{
+		Ring: cluster.RingOptions{
+			Vnodes:      *vnodes,
+			LoadFactor:  *loadFactor,
+			Replication: *replication,
+		},
+		ShardTimeout:   *shardTimeout,
+		HealthInterval: *healthInterval,
+		HealthFailures: *healthFail,
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d shards on %s (replication=%d, vnodes=%d, load-factor=%.2f)",
+			len(urls), *addr, *replication, *vnodes, *loadFactor)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+	case err := <-errc:
+		return fmt.Errorf("serving: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	return nil
+}

@@ -188,7 +188,46 @@
 // out-of-core with -data-dir DIR -mmap (the snapshot then defaults to
 // DIR/MANIFEST; /stats reports each segment's backing, file bytes and
 // resident estimate); examples/dynamic walks the churn-and-compact
-// lifecycle and prints what the planner pruned.
+// lifecycle and prints what the planner pruned. Query handlers thread the
+// request context into the index, so a disconnected client stops its
+// in-flight query or batch instead of running it to completion
+// (QueryContext / QueryTopKContext / QueryBatchContext on LiveIndex, and
+// QueryBatchIntoContext on Index, expose the same to library callers).
+//
+// # Distributed serving
+//
+// cmd/lshrouter shards the daemon horizontally: N lshensembled processes
+// each hold a slice of the corpus, and a stateless router in front makes
+// the fleet answer like one index. Topology: any number of identical
+// routers (they share no state) in front of a static -shards list; every
+// shard must run the same -seed and -hashes, since MinHash signatures from
+// different families are incomparable.
+//
+// Writes (/add, /delete) route by consistent hashing — a vnode ring over
+// the live shards with a deterministic bounded-load pass (no shard owns
+// more than load-factor/N of the keyspace; ownership is a pure function of
+// membership, so independent routers agree without coordinating).
+// -replication K writes each key to K distinct shards. Queries (/query,
+// /query/topk, /query/batch) scatter to every live shard under a
+// per-shard deadline and merge: unions dedup by key, top-k keeps each
+// key's best estimated containment and re-ranks, batches merge row by
+// row.
+//
+// Consistency and partial results: a query observes each shard's
+// point-in-time snapshot — the fleet-wide answer is not a global snapshot,
+// but per shard it carries the live index's usual guarantees. A shard that
+// is slow (past -shard-timeout) or dead contributes nothing to the merge;
+// the response stays HTTP 200 with "partial": true and the missing shards
+// named in "failed" — the router degrades, it never turns one shard's
+// death into an error. Only a total blackout is a 5xx. A background
+// checker probes each shard's /healthz and demotes a shard from the ring
+// after -health-fail consecutive misses (one success promotes it back),
+// so writes route around the hole and clean (non-partial) answers resume.
+//
+// Shard handoff rides the persistence layer: snapshots embed the hash
+// seed, so an operator replaces a dead shard by booting a fresh daemon
+// from the dead shard's -snapshot file or -data-dir manifest and listing
+// it at the same URL — the ring is indifferent to which process answers.
 //
 // See ROADMAP.md for representative before/after benchmark numbers.
 //

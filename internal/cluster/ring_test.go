@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://shard-%d:7447", i)
+	}
+	return nodes
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("table%04d:column%d", i, i%7)
+	}
+	return keys
+}
+
+// TestRingDeterministic: placement must be a pure function of membership —
+// two rings built from the same members (in any order) agree on every
+// owner, which is what lets multiple stateless routers front one fleet.
+func TestRingDeterministic(t *testing.T) {
+	nodes := ringNodes(5)
+	opts := RingOptions{Vnodes: 64, LoadFactor: 1.25, Replication: 2}
+	a := NewRing(nodes, opts)
+	shuffled := []string{nodes[3], nodes[0], nodes[4], nodes[1], nodes[2]}
+	b := NewRing(shuffled, opts)
+	for _, key := range testKeys(500) {
+		ao, bo := a.Owners(key), b.Owners(key)
+		if len(ao) != len(bo) {
+			t.Fatalf("key %q: owner counts differ: %v vs %v", key, ao, bo)
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("key %q: owners differ: %v vs %v", key, ao, bo)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: every node serves a non-trivial slice of keys.
+func TestRingDistribution(t *testing.T) {
+	nodes := ringNodes(8)
+	r := NewRing(nodes, RingOptions{Vnodes: 64, LoadFactor: 1.25, Replication: 1})
+	counts := make(map[string]int)
+	keys := testKeys(8000)
+	for _, key := range keys {
+		counts[r.Primary(key)]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s received no keys: %v", n, counts)
+		}
+	}
+}
+
+// TestRingBoundedShare: with LoadFactor f, no node's keyspace share may
+// exceed f/N (beyond float slack), and the empirical key placement must
+// respect the same cap.
+func TestRingBoundedShare(t *testing.T) {
+	const n, f = 8, 1.25
+	r := NewRing(ringNodes(n), RingOptions{Vnodes: 64, LoadFactor: f, Replication: 1})
+	cap := f / n
+	total := 0.0
+	for node, share := range r.Shares() {
+		total += share
+		if share > cap*(1+1e-9) {
+			t.Fatalf("node %s share %.5f exceeds bounded-load cap %.5f", node, share, cap)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %.9f, want 1", total)
+	}
+	// Empirical check: sampled placement stays under the cap with sampling
+	// slack.
+	keys := testKeys(20000)
+	counts := make(map[string]int)
+	for _, key := range keys {
+		counts[r.Primary(key)]++
+	}
+	limit := int(float64(len(keys))*cap*1.05) + 50
+	for node, c := range counts {
+		if c > limit {
+			t.Fatalf("node %s got %d of %d keys, above bounded-load limit %d", node, c, len(keys), limit)
+		}
+	}
+}
+
+// TestRingUncappedShare: LoadFactor +Inf disables capping; shares still sum
+// to 1 and lookups still work.
+func TestRingUncappedShare(t *testing.T) {
+	r := NewRing(ringNodes(4), RingOptions{Vnodes: 32, LoadFactor: math.Inf(1), Replication: 1})
+	total := 0.0
+	for _, share := range r.Shares() {
+		total += share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %.9f, want 1", total)
+	}
+	if r.Primary("some-key") == "" {
+		t.Fatal("uncapped ring failed to place a key")
+	}
+}
+
+// TestRingConsistency: removing one node of five must move the removed
+// node's keys (all of them) and mostly leave everyone else's alone — the
+// consistent-hashing contract, with slack for the bounded-load caps
+// shifting (1.25/5 → 1.25/4).
+func TestRingConsistency(t *testing.T) {
+	nodes := ringNodes(5)
+	opts := RingOptions{Vnodes: 64, LoadFactor: 1.25, Replication: 1}
+	before := NewRing(nodes, opts)
+	after := NewRing(nodes[:4], opts)
+	keys := testKeys(4000)
+	moved, held := 0, 0
+	for _, key := range keys {
+		was, is := before.Primary(key), after.Primary(key)
+		if was == nodes[4] {
+			if is == nodes[4] {
+				t.Fatalf("key %q still placed on removed node", key)
+			}
+			continue
+		}
+		if was == is {
+			held++
+		} else {
+			moved++
+		}
+	}
+	// ~1/5 of keys lived on the removed node; of the rest, cap shifts may
+	// move some (zero is ideal), but the vast majority must hold.
+	if frac := float64(moved) / float64(moved+held); frac > 0.35 {
+		t.Fatalf("%.1f%% of surviving-node keys moved; consistent hashing should move far fewer", frac*100)
+	}
+}
+
+// TestRingReplication: Owners returns the requested number of distinct
+// shards, primary first, clamped to the membership.
+func TestRingReplication(t *testing.T) {
+	nodes := ringNodes(4)
+	r := NewRing(nodes, RingOptions{Vnodes: 32, LoadFactor: 1.25, Replication: 3})
+	for _, key := range testKeys(300) {
+		owners := r.Owners(key)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3", key, len(owners))
+		}
+		if owners[0] != r.Primary(key) {
+			t.Fatalf("key %q: first owner %s != primary %s", key, owners[0], r.Primary(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %s in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	// Replication beyond membership clamps.
+	over := NewRing(nodes[:2], RingOptions{Vnodes: 32, Replication: 5})
+	if owners := over.Owners("k"); len(owners) != 2 {
+		t.Fatalf("clamped replication returned %d owners, want 2", len(owners))
+	}
+}
+
+// TestRingEmpty: an empty ring returns nothing rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, RingOptions{})
+	if p := r.Primary("k"); p != "" {
+		t.Fatalf("empty ring placed a key on %q", p)
+	}
+	if o := r.Owners("k"); o != nil {
+		t.Fatalf("empty ring returned owners %v", o)
+	}
+}

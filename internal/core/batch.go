@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,7 @@ type batchWorker struct {
 // TestQueryBatchSteadyStateAllocs pin down.
 type batchState struct {
 	x       *Index
+	ctx     context.Context
 	queries []BatchQuery
 	next    atomic.Int64
 	wg      sync.WaitGroup
@@ -107,11 +109,18 @@ func (st *batchState) run(w int) {
 
 func (st *batchState) serve(w int) {
 	x := st.x
+	ctx := st.ctx
 	bw := st.workers[w]
 	bw.ids = bw.ids[:0]
 	bw.rows = bw.rows[:0]
 	s := x.acquireScratch()
 	for {
+		// One cancellation check per pulled query: a canceled batch stops
+		// after at most one in-flight query per worker, without any
+		// per-probe overhead on the uncanceled path.
+		if ctx.Err() != nil {
+			break
+		}
 		qi := int(st.next.Add(1)) - 1
 		if qi >= len(st.queries) {
 			break
@@ -136,8 +145,23 @@ func (st *batchState) serve(w int) {
 // has pending Adds (call Reindex first); it must not run concurrently with
 // Add/Reindex, exactly like every other query entry point.
 func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers int) error {
+	return x.QueryBatchIntoContext(context.Background(), res, queries, workers)
+}
+
+// QueryBatchIntoContext is QueryBatchInto under a context: every worker
+// checks ctx once per pulled query, so canceling the context (a disconnected
+// client, an expired per-shard deadline) stops the remaining batch work
+// after at most one in-flight query per worker instead of burning CPU to
+// completion. When ctx is canceled it returns ctx.Err(); res then holds the
+// rows completed before cancellation (unserved queries get empty rows) and
+// must not be interpreted as a full answer.
+func (x *Index) QueryBatchIntoContext(ctx context.Context, res *BatchResults, queries []BatchQuery, workers int) error {
 	if x.dirty {
 		return ErrDirty
+	}
+	if err := ctx.Err(); err != nil {
+		res.reset(len(queries))
+		return err
 	}
 	res.reset(len(queries))
 	if len(queries) == 0 || len(x.keys) == 0 {
@@ -154,6 +178,7 @@ func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers 
 		st = &batchState{}
 	}
 	st.x = x
+	st.ctx = ctx
 	st.queries = queries
 	st.next.Store(0)
 	for len(st.workers) < workers {
@@ -196,9 +221,10 @@ func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers 
 		}
 	}
 	st.x = nil
+	st.ctx = nil
 	st.queries = nil
 	x.batch.Put(st)
-	return nil
+	return ctx.Err()
 }
 
 // QueryBatch answers every query of the batch with up to `workers`
@@ -207,8 +233,15 @@ func (x *Index) QueryBatchInto(res *BatchResults, queries []BatchQuery, workers 
 // that care about allocation should use QueryBatchInto with a reused
 // BatchResults instead.
 func (x *Index) QueryBatch(queries []BatchQuery, workers int) ([][]uint32, error) {
+	return x.QueryBatchContext(context.Background(), queries, workers)
+}
+
+// QueryBatchContext is QueryBatch under a context — see
+// QueryBatchIntoContext for the cancellation semantics. On cancellation it
+// returns (nil, ctx.Err()).
+func (x *Index) QueryBatchContext(ctx context.Context, queries []BatchQuery, workers int) ([][]uint32, error) {
 	var res BatchResults
-	if err := x.QueryBatchInto(&res, queries, workers); err != nil {
+	if err := x.QueryBatchIntoContext(ctx, &res, queries, workers); err != nil {
 		return nil, err
 	}
 	out := make([][]uint32, len(queries))

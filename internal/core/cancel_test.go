@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingCtx is a context.Context that cancels itself once Err has been
+// consulted `limit` times. The batch workers consult Err exactly once per
+// pulled query, so the final call count is a direct, deterministic measure
+// of how many queries the dispatch served after cancellation — no timers,
+// no sleeps.
+type countingCtx struct {
+	calls atomic.Int64
+	limit int64
+
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func newCountingCtx(limit int64) *countingCtx {
+	return &countingCtx{limit: limit, done: make(chan struct{})}
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) >= c.limit {
+		c.mu.Lock()
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+		c.mu.Unlock()
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{}                   { return c.done }
+func (c *countingCtx) Deadline() (deadline time.Time, ok bool) { return }
+func (c *countingCtx) Value(any) any                           { return nil }
+
+// TestQueryBatchContextCanceledUpFront: a context canceled before dispatch
+// must refuse the batch outright — no worker spawn, no queries served, the
+// destination reset to all-empty rows.
+func TestQueryBatchContextCanceledUpFront(t *testing.T) {
+	c := makeCorpus(t, 200, 64, 41)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]BatchQuery, 50)
+	for i := range queries {
+		r := c.records[i%len(c.records)]
+		queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.5}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var res BatchResults
+	if err := idx.QueryBatchIntoContext(ctx, &res, queries, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.NumRows() != len(queries) {
+		t.Fatalf("NumRows = %d, want %d", res.NumRows(), len(queries))
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		if len(res.Row(i)) != 0 {
+			t.Fatalf("row %d non-empty after up-front cancellation", i)
+		}
+	}
+	if rows, err := idx.QueryBatchContext(ctx, queries, 4); !errors.Is(err, context.Canceled) || rows != nil {
+		t.Fatalf("QueryBatchContext = (%v, %v), want (nil, context.Canceled)", rows, err)
+	}
+}
+
+// TestQueryBatchContextStopsMidBatch cancels the context after a handful of
+// Err consultations and requires the dispatch to (a) surface the
+// cancellation and (b) stop pulling queries almost immediately: out of a
+// 4096-query batch, at most limit + one in-flight query per worker may have
+// been started. This is the "disconnected client's batch stops burning CPU"
+// guarantee, made deterministic.
+func TestQueryBatchContextStopsMidBatch(t *testing.T) {
+	c := makeCorpus(t, 400, 64, 42)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchSize = 4096
+	queries := make([]BatchQuery, batchSize)
+	for i := range queries {
+		r := c.records[i%len(c.records)]
+		queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.25}
+	}
+	for _, workers := range []int{1, 4} {
+		const limit = 8
+		ctx := newCountingCtx(limit)
+		var res BatchResults
+		err := idx.QueryBatchIntoContext(ctx, &res, queries, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Every pulled query consults Err exactly once (plus the up-front
+		// check and the final error read), so the call count bounds the
+		// served queries. Serving the whole batch would need ≥ batchSize
+		// calls.
+		if calls := ctx.calls.Load(); calls > limit+int64(workers)+2 {
+			t.Fatalf("workers=%d: %d Err consultations after cancellation at %d", workers, calls, limit)
+		}
+	}
+}
+
+// TestQueryBatchContextNoGoroutineLeak hammers cancellation mid-dispatch and
+// requires the goroutine count to return to its baseline: canceled batch
+// workers must exit, not park. Run with -race in CI.
+func TestQueryBatchContextNoGoroutineLeak(t *testing.T) {
+	c := makeCorpus(t, 300, 64, 43)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]BatchQuery, 2048)
+	for i := range queries {
+		r := c.records[i%len(c.records)]
+		queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.25}
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx := newCountingCtx(4)
+		var res BatchResults
+		if err := idx.QueryBatchIntoContext(ctx, &res, queries, 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	// QueryBatchIntoContext waits for its workers before returning, so the
+	// count should already be back; poll briefly to absorb runtime noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancellation hammer", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestQueryBatchContextUncanceledMatchesPlain: threading a live context
+// through must not change any answer — the ctx-aware path with a background
+// context is the plain path.
+func TestQueryBatchContextUncanceledMatchesPlain(t *testing.T) {
+	c := makeCorpus(t, 300, 64, 44)
+	idx, err := Build(c.records, Options{NumHash: 64, RMax: 4, NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]BatchQuery, 64)
+	for i := range queries {
+		r := c.records[(i*5)%len(c.records)]
+		queries[i] = BatchQuery{Sig: r.Sig, Size: r.Size, Threshold: 0.5}
+	}
+	want, err := idx.QueryBatch(queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := idx.QueryBatchContext(ctx, queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !equalIDs(sortedIDs(got[i]), sortedIDs(want[i])) {
+			t.Fatalf("row %d differs under uncanceled context", i)
+		}
+	}
+}

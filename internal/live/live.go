@@ -117,6 +117,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -610,8 +611,25 @@ func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) []str
 // immutable index's QueryIDsAppend path: both the result-cache hit path and
 // the planned fan-out (with a warm plan cache) append without allocating.
 func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, tStar float64) []string {
+	dst, _ = x.QueryAppendContext(context.Background(), dst, sig, querySize, tStar)
+	return dst
+}
+
+// QueryContext is Query under a context: the fan-out checks ctx between
+// segments (and periodically inside the buffer scan), so a canceled request
+// stops probing instead of running the query to completion. On cancellation
+// it returns (nil, ctx.Err()); the partially collected candidates are
+// discarded, never cached.
+func (x *Index) QueryContext(ctx context.Context, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
+	return x.QueryAppendContext(ctx, nil, sig, querySize, tStar)
+}
+
+// QueryAppendContext is QueryAppend under a context — see QueryContext for
+// the cancellation semantics. On cancellation dst is returned grown by an
+// unspecified prefix of the answer alongside ctx.Err().
+func (x *Index) QueryAppendContext(ctx context.Context, dst []string, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
 	if querySize <= 0 {
-		return dst
+		return dst, nil
 	}
 	if len(sig) > x.opts.NumHash {
 		sig = sig[:x.opts.NumHash]
@@ -627,17 +645,19 @@ func (x *Index) QueryAppend(dst []string, sig minhash.Signature, querySize int, 
 		if e := x.lookupResult(sn, sig, querySize, tBits, h); e != nil {
 			x.resHits.Add(1)
 			x.releaseSnap(sn)
-			return append(dst, e.keys...)
+			return append(dst, e.keys...), nil
 		}
 		x.resMisses.Add(1)
 	}
 	base := len(dst)
-	dst = x.querySnapshot(dst, sn, sig, querySize, tStar)
-	if x.rc != nil {
+	dst, err := x.querySnapshot(ctx, dst, sn, sig, querySize, tStar)
+	// A canceled fan-out collected only a prefix of the answer; caching it
+	// would serve the truncation to later, uncanceled queries.
+	if err == nil && x.rc != nil {
 		x.storeResult(sn, sig, querySize, tBits, h, dst[base:])
 	}
 	x.releaseSnap(sn)
-	return dst
+	return dst, err
 }
 
 func clampThreshold(t float64) float64 {
@@ -654,17 +674,27 @@ func clampThreshold(t float64) float64 {
 // plan for (querySize, tStar), probe only the segments the plan and the
 // Bloom pre-test cannot rule out, then scan the buffer. With pruning
 // disabled it degrades to the plain probe-everything loop. sig and tStar
-// must already be clamped.
-func (x *Index) querySnapshot(dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) []string {
+// must already be clamped. ctx is checked once per segment and periodically
+// inside the buffer scan; on cancellation dst is returned as collected so
+// far alongside ctx.Err().
+func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
 	if len(sn.segs) > 0 {
 		s := x.acquireScratch()
 		if x.opts.DisablePruning {
 			for _, seg := range sn.segs {
+				if err := ctx.Err(); err != nil {
+					x.releaseScratch(s)
+					return dst, err
+				}
 				dst = x.appendSegmentMatches(dst, s, sn, seg, sig, querySize, tStar)
 			}
 		} else {
 			plan := x.planFor(sn, querySize, tStar)
 			for si, seg := range sn.segs {
+				if err := ctx.Err(); err != nil {
+					x.releaseScratch(s)
+					return dst, err
+				}
 				pp := plan.params[si]
 				if pp == nil {
 					x.segRangePruned.Add(1)
@@ -683,7 +713,7 @@ func (x *Index) querySnapshot(dst []string, sn *snapshot, sig minhash.Signature,
 		}
 		x.releaseScratch(s)
 	}
-	return x.appendBufferMatches(dst, sn, sig, querySize, tStar)
+	return x.appendBufferMatches(ctx, dst, sn, sig, querySize, tStar)
 }
 
 // appendSegmentMatches probes one sealed segment the pre-planner way and
@@ -720,9 +750,9 @@ func appendLiveKeys(dst []string, sn *snapshot, seg *segment, ids []uint32) []st
 // one (b, r) for the whole scan, and an entry matches if any of the b bands
 // of r hash values collide — the LSH forest's collision condition, without
 // the forest.
-func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) []string {
+func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
 	if len(sn.buf) == 0 {
-		return dst
+		return dst, nil
 	}
 	if tStar < 0 {
 		tStar = 0
@@ -733,7 +763,7 @@ func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Sign
 	u := float64(sn.bufMax)
 	// Mirrors the partition skip in core: containment ≤ x/q ≤ u/q.
 	if tStar > 0 && u/q < tStar {
-		return dst
+		return dst, nil
 	}
 	rMax := x.opts.RMax
 	// Buffer Bloom pre-test: a band collision at any depth r ≥ 1 needs an
@@ -751,12 +781,21 @@ func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Sign
 		}
 		if !may {
 			x.bufBloomSkips.Add(1)
-			return dst
+			return dst, nil
 		}
 	}
 	x.bufScans.Add(1)
 	params := x.tuner.Optimize(u, q, tStar)
 	for i := range sn.buf {
+		// The buffer is bounded by SealThreshold in steady state but not
+		// when the compactor is disabled or behind, so a long scan still
+		// honors cancellation — at a stride that costs nothing when it
+		// doesn't.
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return dst, err
+			}
+		}
 		e := &sn.buf[i]
 		if !sn.alive(e.rec.Key, e.seq) {
 			continue
@@ -765,7 +804,7 @@ func (x *Index) appendBufferMatches(dst []string, sn *snapshot, sig minhash.Sign
 			dst = append(dst, e.rec.Key)
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // bandsCollide reports whether any of the first b bands (each rMax wide,
@@ -800,9 +839,20 @@ func bandsCollide(a, b minhash.Signature, bands, r, rMax int) bool {
 // batch shrinks to the queries that can actually collide there. Rows are
 // identical to the unplanned fan-out either way.
 func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
+	rows, _ := x.QueryBatchContext(context.Background(), queries, workers)
+	return rows
+}
+
+// QueryBatchContext is QueryBatch under a context: the per-segment batch
+// dispatch inherits ctx (core.QueryBatchIntoContext stops its workers after
+// at most one in-flight query each) and the fan-out checks ctx between
+// segments, so a disconnected client or expired deadline stops the batch
+// instead of burning CPU to completion. On cancellation it returns
+// (nil, ctx.Err()); partial rows are discarded, never cached.
+func (x *Index) QueryBatchContext(ctx context.Context, queries []core.BatchQuery, workers int) ([][]string, error) {
 	rows := make([][]string, len(queries))
 	if len(queries) == 0 {
-		return rows
+		return rows, nil
 	}
 	sn := x.acquireSnap()
 	defer x.releaseSnap(sn)
@@ -836,7 +886,7 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 		pending = append(pending, i)
 	}
 	if len(pending) == 0 {
-		return rows
+		return rows, nil
 	}
 
 	// Per-query plans (shared through the plan cache, so a batch of
@@ -872,7 +922,10 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 		if len(sub) == 0 {
 			continue
 		}
-		if err := seg.idx.QueryBatchInto(&res, sub, workers); err != nil {
+		if err := seg.idx.QueryBatchIntoContext(ctx, &res, sub, workers); err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			continue // unreachable: sealed segments are never dirty
 		}
 		for j, qi := range subIdx {
@@ -881,13 +934,17 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 	}
 	for _, qi := range pending {
 		if len(sn.buf) > 0 {
-			rows[qi] = x.appendBufferMatches(rows[qi], sn, norm[qi].Sig, norm[qi].Size, norm[qi].Threshold)
+			var err error
+			rows[qi], err = x.appendBufferMatches(ctx, rows[qi], sn, norm[qi].Sig, norm[qi].Size, norm[qi].Threshold)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if x.rc != nil {
 			x.storeResult(sn, norm[qi].Sig, norm[qi].Size, tBitsOf[qi], hashOf[qi], rows[qi])
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // QueryTopK returns (up to) k live domains ranked by estimated containment
@@ -898,8 +955,16 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 // segment, those segments are skipped — they provably cannot alter the
 // top k. Like Query it is lock-free against writers and the compactor.
 func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKResult {
+	results, _ := x.QueryTopKContext(context.Background(), sig, querySize, k)
+	return results
+}
+
+// QueryTopKContext is QueryTopK under a context: ctx is checked before each
+// segment visit, so a canceled request stops ranking instead of walking the
+// remaining segments. On cancellation it returns (nil, ctx.Err()).
+func (x *Index) QueryTopKContext(ctx context.Context, sig minhash.Signature, querySize, k int) ([]core.TopKResult, error) {
 	if k <= 0 || querySize <= 0 {
-		return nil
+		return nil, nil
 	}
 	if len(sig) > x.opts.NumHash {
 		sig = sig[:x.opts.NumHash]
@@ -926,6 +991,10 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKRe
 	s := x.acquireScratch()
 	terminated := false
 	for _, si := range sn.topkOrder {
+		if err := ctx.Err(); err != nil {
+			x.releaseScratch(s)
+			return nil, err
+		}
 		seg := sn.segs[si]
 		// Strict >: a remaining segment whose cap ties the current k-th
 		// score could still win its tie-break, so it is only skippable when
@@ -964,7 +1033,7 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKRe
 	if terminated {
 		x.topkEarlyExits.Add(1)
 	}
-	return results
+	return results, nil
 }
 
 // Stats is a point-in-time summary of the index's shape.

@@ -1,0 +1,419 @@
+// Package serve is the HTTP face of one live LSH Ensemble index — the
+// handler set behind both cmd/lshensembled (a single shard) and the shards
+// that cmd/lshrouter scatters to. Extracting it from the daemon binary keeps
+// exactly one implementation of the wire protocol: the router forwards and
+// merges the same JSON types a shard serves, and the router's multi-shard
+// tests spin up real shard handlers in-process via httptest.
+//
+// Queries hit the live index's lock-free snapshot path and therefore never
+// contend with ingest; mutation endpoints go straight to Add/Delete, which
+// never block queries either. Domain values are sketched server-side with
+// the daemon's hash family, so clients speak raw strings and signatures
+// never cross the wire.
+//
+// Every query handler threads the request context into the index
+// (QueryContext / QueryTopKContext / QueryBatchContext), so a client that
+// disconnects — or a router whose per-shard deadline expires — stops the
+// in-flight work instead of burning CPU on an answer nobody will read.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"lshensemble"
+	"lshensemble/internal/segfile"
+)
+
+// Server serves one live index over HTTP. It implements http.Handler.
+type Server struct {
+	idx    *lshensemble.LiveIndex
+	hasher *lshensemble.Hasher
+	seed   uint64
+	// snapshotPath is the only file the daemon will write ("" disables
+	// /save); the path is fixed at startup, not client-controlled.
+	snapshotPath string
+	saveMu       sync.Mutex
+	mux          *http.ServeMux
+}
+
+// New constructs the handler set over one live index. snapshotPath may be
+// empty to disable /save.
+func New(idx *lshensemble.LiveIndex, hasher *lshensemble.Hasher, seed uint64, snapshotPath string) *Server {
+	s := &Server{idx: idx, hasher: hasher, seed: seed, snapshotPath: snapshotPath, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("POST /delete", s.handleDelete)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/topk", s.handleQueryTopK)
+	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	s.mux.HandleFunc("POST /save", s.handleSave)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Index returns the live index the server fronts.
+func (s *Server) Index() *lshensemble.LiveIndex { return s.idx }
+
+// Hasher returns the server's hash family.
+func (s *Server) Hasher() *lshensemble.Hasher { return s.hasher }
+
+// Seed returns the hash-family seed embedded in snapshots.
+func (s *Server) Seed() uint64 { return s.seed }
+
+// --- wire types ---
+//
+// These are the shard protocol: the router speaks exactly these types when
+// forwarding writes and scattering queries, and extends the responses with
+// partial-result fields of its own (internal/cluster).
+
+// AddRequest ingests one domain; values are sketched server-side.
+type AddRequest struct {
+	Key    string   `json:"key"`
+	Values []string `json:"values"`
+}
+
+// AddResponse reports an ingest: whether an existing entry was replaced and
+// the distinct-value count that was sketched.
+type AddResponse struct {
+	Replaced bool `json:"replaced"`
+	Size     int  `json:"size"`
+}
+
+// DeleteRequest removes one domain by key.
+type DeleteRequest struct {
+	Key string `json:"key"`
+}
+
+// DeleteResponse reports whether the key was indexed.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// QueryRequest is one containment query over raw string values.
+type QueryRequest struct {
+	Values []string `json:"values"`
+	// Threshold is the containment threshold t*; 0 means the 0.5 default.
+	Threshold float64 `json:"threshold"`
+	// Size optionally overrides |Q| (defaults to the distinct value count).
+	Size int `json:"size"`
+}
+
+// QueryResponse lists the matching keys, sorted.
+type QueryResponse struct {
+	Matches []string `json:"matches"`
+	Count   int      `json:"count"`
+}
+
+// TopKRequest is one ranked containment query.
+type TopKRequest struct {
+	Values []string `json:"values"`
+	// K is the number of ranked results to return; 0 means 10.
+	K int `json:"k"`
+	// Size optionally overrides |Q| (defaults to the distinct value count).
+	Size int `json:"size"`
+}
+
+// TopKMatch is one ranked answer.
+type TopKMatch struct {
+	Key string `json:"key"`
+	// EstContainment is the signature-estimated containment used for the
+	// ranking; exact scores require the raw domains.
+	EstContainment float64 `json:"est_containment"`
+}
+
+// TopKResponse lists ranked matches, best first.
+type TopKResponse struct {
+	Matches []TopKMatch `json:"matches"`
+	Count   int         `json:"count"`
+}
+
+// BatchRequest carries many queries answered in one round trip.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+	// Workers bounds the fan-out of the batch dispatch (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
+// BatchResponse answers a BatchRequest row-by-row, in query order.
+type BatchResponse struct {
+	Rows []QueryResponse `json:"rows"`
+}
+
+// StatsResponse is the live index shape plus the immutable serving
+// parameters a client needs to interoperate (signature length, seed).
+type StatsResponse struct {
+	lshensemble.LiveStats
+	NumHash int    `json:"num_hash"`
+	RMax    int    `json:"r_max"`
+	Seed    uint64 `json:"seed"`
+}
+
+// SaveResponse reports a persisted snapshot.
+type SaveResponse struct {
+	Path  string `json:"path"`
+	Bytes int    `json:"bytes"`
+}
+
+// ErrorResponse is the JSON error envelope of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+// MaxRequestBody caps request bodies: an /add or batch body larger than
+// this is a client bug.
+const MaxRequestBody = 64 << 20
+
+// DecodeJSON decodes a bounded JSON request body into dst, writing a 400
+// error response and returning false on malformed input.
+func DecodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes err in the JSON error envelope with the given status.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	var req AddRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		WriteError(w, http.StatusBadRequest, errors.New("key is required"))
+		return
+	}
+	if len(req.Values) == 0 {
+		WriteError(w, http.StatusBadRequest, errors.New("values must be non-empty"))
+		return
+	}
+	rec := lshensemble.SketchStrings(s.hasher, req.Key, req.Values)
+	replaced, err := s.idx.Add(rec)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, AddResponse{Replaced: replaced, Size: rec.Size})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		WriteError(w, http.StatusBadRequest, errors.New("key is required"))
+		return
+	}
+	WriteJSON(w, http.StatusOK, DeleteResponse{Deleted: s.idx.Delete(req.Key)})
+}
+
+// sketchQuery turns one wire query into (signature, size, threshold).
+func (s *Server) sketchQuery(q *QueryRequest) (lshensemble.BatchQuery, error) {
+	if len(q.Values) == 0 {
+		return lshensemble.BatchQuery{}, errors.New("values must be non-empty")
+	}
+	rec := lshensemble.SketchStrings(s.hasher, "query", q.Values)
+	size := rec.Size
+	if q.Size > 0 {
+		size = q.Size
+	}
+	t := q.Threshold
+	if t == 0 {
+		t = 0.5
+	}
+	if t < 0 || t > 1 {
+		return lshensemble.BatchQuery{}, fmt.Errorf("threshold %v out of range (0, 1]", t)
+	}
+	return lshensemble.BatchQuery{Sig: rec.Sig, Size: size, Threshold: t}, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	q, err := s.sketchQuery(&req)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	matches, err := s.idx.QueryContext(r.Context(), q.Sig, q.Size, q.Threshold)
+	if err != nil {
+		// The request context is canceled: the client is gone, nobody will
+		// read a body. Returning without writing lets the server tear the
+		// connection down.
+		return
+	}
+	sort.Strings(matches)
+	WriteJSON(w, http.StatusOK, QueryResponse{Matches: matches, Count: len(matches)})
+}
+
+func (s *Server) handleQueryTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Values) == 0 {
+		WriteError(w, http.StatusBadRequest, errors.New("values must be non-empty"))
+		return
+	}
+	if req.K < 0 {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("k %d must be positive", req.K))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	rec := lshensemble.SketchStrings(s.hasher, "query", req.Values)
+	size := rec.Size
+	if req.Size > 0 {
+		size = req.Size
+	}
+	ranked, err := s.idx.QueryTopKContext(r.Context(), rec.Sig, size, k)
+	if err != nil {
+		return // canceled: client gone
+	}
+	resp := TopKResponse{Matches: make([]TopKMatch, len(ranked)), Count: len(ranked)}
+	for i, m := range ranked {
+		resp.Matches[i] = TopKMatch{Key: m.Key, EstContainment: m.EstContainment}
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !DecodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		WriteError(w, http.StatusBadRequest, errors.New("queries must be non-empty"))
+		return
+	}
+	queries := make([]lshensemble.BatchQuery, len(req.Queries))
+	for i := range req.Queries {
+		q, err := s.sketchQuery(&req.Queries[i])
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	rows, err := s.idx.QueryBatchContext(r.Context(), queries, req.Workers)
+	if err != nil {
+		return // canceled: client gone, stop burning CPU on the batch
+	}
+	resp := BatchResponse{Rows: make([]QueryResponse, len(rows))}
+	for i, row := range rows {
+		sort.Strings(row)
+		resp.Rows[i] = QueryResponse{Matches: row, Count: len(row)}
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	o := s.idx.Options()
+	WriteJSON(w, http.StatusOK, StatsResponse{
+		LiveStats: s.idx.Stats(),
+		NumHash:   o.NumHash,
+		RMax:      o.RMax,
+		Seed:      s.seed,
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	s.idx.Compact()
+	s.handleStats(w, nil)
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, _ *http.Request) {
+	if s.snapshotPath == "" {
+		WriteError(w, http.StatusNotFound, errors.New("no -snapshot path configured"))
+		return
+	}
+	n, err := s.SaveSnapshot()
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, SaveResponse{Path: s.snapshotPath, Bytes: n})
+}
+
+// --- snapshot files ---
+//
+// A daemon snapshot prefixes the live-index encoding with the hash-family
+// seed: signatures from a different family are incomparable garbage, so the
+// seed must round-trip with the data and is verified on load.
+
+var snapshotMagic = [4]byte{'L', 'S', 'H', 'D'}
+
+// SaveSnapshot writes the current snapshot to the configured path via a
+// same-directory fsynced temp file + atomic rename, so a crash at any point
+// leaves either the previous snapshot or the new one, never a torn file.
+// Once the manifest is durable, segment files retired since the previous
+// save are deleted. It returns the byte count written.
+func (s *Server) SaveSnapshot() (int, error) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	buf := append([]byte(nil), snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = s.idx.AppendBinary(buf)
+	if err := segfile.WriteAtomic(s.snapshotPath, buf); err != nil {
+		return 0, err
+	}
+	// The freshly renamed manifest no longer references retired segment
+	// files, so they are safe to delete now — and only now.
+	s.idx.CollectGarbage()
+	return len(buf), nil
+}
+
+// LoadSnapshot reads a daemon snapshot, verifying the hash-family seed.
+// Shard handoff rides on this: a new shard boots from any shard's snapshot
+// (or manifest + segment files) written with the same seed.
+func LoadSnapshot(path string, seed uint64, opts lshensemble.LiveOptions) (*lshensemble.LiveIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var header [12]byte
+	if _, err := io.ReadFull(f, header[:]); err != nil {
+		return nil, fmt.Errorf("reading snapshot header: %w", err)
+	}
+	if [4]byte(header[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%s is not a lshensembled snapshot", path)
+	}
+	if saved := binary.LittleEndian.Uint64(header[4:]); saved != seed {
+		return nil, fmt.Errorf("snapshot hash seed %d != configured -seed %d (signatures would be incomparable)", saved, seed)
+	}
+	return lshensemble.LoadLive(f, opts)
+}

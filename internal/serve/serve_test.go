@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -12,7 +12,7 @@ import (
 	"lshensemble"
 )
 
-func testServer(t *testing.T, snapshotPath string) (*server, *httptest.Server) {
+func testServer(t *testing.T, snapshotPath string) (*Server, *httptest.Server) {
 	t.Helper()
 	// Seed 1 matches the root-package fixture, whose band collisions at
 	// the exact containment boundary are part of the proven baseline.
@@ -27,7 +27,7 @@ func testServer(t *testing.T, snapshotPath string) (*server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	t.Cleanup(idx.Close)
-	s := newServer(idx, lshensemble.NewHasher(256, seed), seed, snapshotPath)
+	s := New(idx, lshensemble.NewHasher(256, seed), seed, snapshotPath)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -47,7 +47,7 @@ func post(t *testing.T, url string, body any, wantStatus int, out any) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
-		var e errorResponse
+		var e ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&e)
 		t.Fatalf("POST %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, e.Error)
 	}
@@ -92,8 +92,8 @@ func seedCorpus(t *testing.T, base string) {
 		"geo:location":    locations,
 		"grants:partner":  partners,
 	} {
-		var resp addResponse
-		post(t, base+"/add", addRequest{Key: key, Values: vals}, http.StatusOK, &resp)
+		var resp AddResponse
+		post(t, base+"/add", AddRequest{Key: key, Values: vals}, http.StatusOK, &resp)
 		if resp.Replaced || resp.Size != len(vals) {
 			t.Fatalf("add %s: %+v", key, resp)
 		}
@@ -108,8 +108,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 
 	// Containment query: provinces ⊂ locations, so both columns match at
 	// t* = 1.0 and partners does not.
-	var q queryResponse
-	post(t, base+"/query", queryRequest{
+	var q QueryResponse
+	post(t, base+"/query", QueryRequest{
 		Values: []string{"Ontario", "Quebec", "British Columbia", "Alberta",
 			"Manitoba", "Saskatchewan", "Nova Scotia", "New Brunswick",
 			"Newfoundland and Labrador", "Prince Edward Island"},
@@ -123,30 +123,30 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Upsert: re-adding a key reports replaced.
-	var add addResponse
-	post(t, base+"/add", addRequest{Key: "grants:partner", Values: []string{"Acme Mining", "Maple Software"}}, http.StatusOK, &add)
+	var add AddResponse
+	post(t, base+"/add", AddRequest{Key: "grants:partner", Values: []string{"Acme Mining", "Maple Software"}}, http.StatusOK, &add)
 	if !add.Replaced {
 		t.Fatalf("re-add not reported as replacement: %+v", add)
 	}
 
 	// Delete hides the key from subsequent queries.
-	var del deleteResponse
-	post(t, base+"/delete", deleteRequest{Key: "geo:location"}, http.StatusOK, &del)
+	var del DeleteResponse
+	post(t, base+"/delete", DeleteRequest{Key: "geo:location"}, http.StatusOK, &del)
 	if !del.Deleted {
 		t.Fatal("delete of existing key reported false")
 	}
-	post(t, base+"/query", queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
+	post(t, base+"/query", QueryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
 	if containsKey(q.Matches, "geo:location") {
 		t.Fatalf("deleted key still matching: %v", q.Matches)
 	}
-	post(t, base+"/delete", deleteRequest{Key: "geo:location"}, http.StatusOK, &del)
+	post(t, base+"/delete", DeleteRequest{Key: "geo:location"}, http.StatusOK, &del)
 	if del.Deleted {
 		t.Fatal("double delete reported true")
 	}
 
 	// Batch: rows in query order, same answers as single queries.
-	var batch batchResponse
-	post(t, base+"/query/batch", batchRequest{Queries: []queryRequest{
+	var batch BatchResponse
+	post(t, base+"/query/batch", BatchRequest{Queries: []QueryRequest{
 		{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0},
 		{Values: []string{"Acme Mining", "Maple Software"}, Threshold: 0.9},
 	}}, http.StatusOK, &batch)
@@ -161,7 +161,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Stats reflect the mutations; compact purges the tombstones.
-	var st statsResponse
+	var st StatsResponse
 	get(t, base+"/stats", &st)
 	if st.Domains != 2 || st.NumHash != 256 || st.Seed != 1 {
 		t.Fatalf("stats: %+v", st)
@@ -172,10 +172,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// Input validation.
-	post(t, base+"/add", addRequest{Key: "", Values: []string{"x"}}, http.StatusBadRequest, nil)
-	post(t, base+"/add", addRequest{Key: "k", Values: nil}, http.StatusBadRequest, nil)
-	post(t, base+"/query", queryRequest{Values: []string{"x"}, Threshold: 3}, http.StatusBadRequest, nil)
-	post(t, base+"/query/batch", batchRequest{}, http.StatusBadRequest, nil)
+	post(t, base+"/add", AddRequest{Key: "", Values: []string{"x"}}, http.StatusBadRequest, nil)
+	post(t, base+"/add", AddRequest{Key: "k", Values: nil}, http.StatusBadRequest, nil)
+	post(t, base+"/query", QueryRequest{Values: []string{"x"}, Threshold: 3}, http.StatusBadRequest, nil)
+	post(t, base+"/query/batch", BatchRequest{}, http.StatusBadRequest, nil)
 	post(t, base+"/save", nil, http.StatusNotFound, nil) // no -snapshot configured
 }
 
@@ -183,16 +183,16 @@ func TestDaemonSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "index.snap")
 	s, ts := testServer(t, path)
 	seedCorpus(t, ts.URL)
-	post(t, ts.URL+"/delete", deleteRequest{Key: "grants:partner"}, http.StatusOK, nil)
+	post(t, ts.URL+"/delete", DeleteRequest{Key: "grants:partner"}, http.StatusOK, nil)
 
-	var saved saveResponse
+	var saved SaveResponse
 	post(t, ts.URL+"/save", nil, http.StatusOK, &saved)
 	if saved.Path != path || saved.Bytes == 0 {
 		t.Fatalf("save: %+v", saved)
 	}
 
 	// Warm restart: same seed loads and answers identically.
-	loaded, err := loadSnapshot(path, s.seed, lshensemble.LiveOptions{
+	loaded, err := LoadSnapshot(path, s.Seed(), lshensemble.LiveOptions{
 		Options: lshensemble.Options{NumHash: 256, RMax: 8, NumPartitions: 4},
 	})
 	if err != nil {
@@ -202,16 +202,16 @@ func TestDaemonSnapshotRoundTrip(t *testing.T) {
 	if loaded.Len() != 2 {
 		t.Fatalf("reloaded Len = %d, want 2", loaded.Len())
 	}
-	ts2 := httptest.NewServer(newServer(loaded, s.hasher, s.seed, ""))
+	ts2 := httptest.NewServer(New(loaded, s.Hasher(), s.Seed(), ""))
 	defer ts2.Close()
-	var q queryResponse
-	post(t, ts2.URL+"/query", queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
+	var q QueryResponse
+	post(t, ts2.URL+"/query", QueryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0}, http.StatusOK, &q)
 	if !containsKey(q.Matches, "grants:province") || containsKey(q.Matches, "grants:partner") {
 		t.Fatalf("reloaded daemon answers wrong: %v", q.Matches)
 	}
 
 	// A mismatched seed must be rejected, not silently return garbage.
-	if _, err := loadSnapshot(path, s.seed+1, lshensemble.LiveOptions{}); err == nil {
+	if _, err := LoadSnapshot(path, s.Seed()+1, lshensemble.LiveOptions{}); err == nil {
 		t.Fatal("seed mismatch accepted")
 	}
 }
@@ -228,7 +228,7 @@ func TestDaemonConcurrentTraffic(t *testing.T) {
 			for i := 0; i < 25; i++ {
 				key := fmt.Sprintf("w%d:col%d", w, i)
 				vals := []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1), fmt.Sprintf("v%d", w)}
-				b, _ := json.Marshal(addRequest{Key: key, Values: vals})
+				b, _ := json.Marshal(AddRequest{Key: key, Values: vals})
 				resp, err := http.Post(base+"/add", "application/json", bytes.NewReader(b))
 				if err != nil {
 					done <- err
@@ -236,7 +236,7 @@ func TestDaemonConcurrentTraffic(t *testing.T) {
 				}
 				resp.Body.Close()
 				if i%5 == 0 {
-					b, _ := json.Marshal(deleteRequest{Key: key})
+					b, _ := json.Marshal(DeleteRequest{Key: key})
 					resp, err := http.Post(base+"/delete", "application/json", bytes.NewReader(b))
 					if err != nil {
 						done <- err
@@ -251,13 +251,13 @@ func TestDaemonConcurrentTraffic(t *testing.T) {
 	for r := 0; r < 4; r++ {
 		go func() {
 			for i := 0; i < 25; i++ {
-				b, _ := json.Marshal(queryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0})
+				b, _ := json.Marshal(QueryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 1.0})
 				resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(b))
 				if err != nil {
 					done <- err
 					return
 				}
-				var q queryResponse
+				var q QueryResponse
 				err = json.NewDecoder(resp.Body).Decode(&q)
 				resp.Body.Close()
 				if err != nil {
@@ -277,7 +277,7 @@ func TestDaemonConcurrentTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	var st statsResponse
+	var st StatsResponse
 	get(t, base+"/stats", &st)
 	// 3 fixture columns plus, per writer, 25 added keys of which the 5
 	// multiples of 5 were deleted again.
@@ -296,8 +296,8 @@ func TestDaemonTopKAndPlannerStats(t *testing.T) {
 	provinces := []string{"Ontario", "Quebec", "British Columbia", "Alberta",
 		"Manitoba", "Saskatchewan", "Nova Scotia", "New Brunswick",
 		"Newfoundland and Labrador", "Prince Edward Island"}
-	var tk topKResponse
-	post(t, base+"/query/topk", topKRequest{Values: provinces, K: 2}, http.StatusOK, &tk)
+	var tk TopKResponse
+	post(t, base+"/query/topk", TopKRequest{Values: provinces, K: 2}, http.StatusOK, &tk)
 	if tk.Count != 2 || len(tk.Matches) != 2 {
 		t.Fatalf("topk: %+v", tk)
 	}
@@ -312,14 +312,14 @@ func TestDaemonTopKAndPlannerStats(t *testing.T) {
 		t.Fatalf("topk not ranked: %+v", tk.Matches)
 	}
 	// Default k kicks in when omitted; the corpus only has 3 columns.
-	post(t, base+"/query/topk", topKRequest{Values: provinces}, http.StatusOK, &tk)
+	post(t, base+"/query/topk", TopKRequest{Values: provinces}, http.StatusOK, &tk)
 	if tk.Count > 3 {
 		t.Fatalf("default-k topk returned %d matches", tk.Count)
 	}
 
 	// Compact seals the buffer, so /stats must expose the segment's planner
 	// metadata and the queries above must have moved the planner counters.
-	var st statsResponse
+	var st StatsResponse
 	post(t, base+"/compact", nil, http.StatusOK, &st)
 	if len(st.SegmentDetail) == 0 {
 		t.Fatalf("no segment_detail after compact: %+v", st)
@@ -328,9 +328,9 @@ func TestDaemonTopKAndPlannerStats(t *testing.T) {
 	if d.Entries == 0 || d.MinSize <= 0 || d.MaxSize < d.MinSize || d.MaxBound < d.MaxSize || d.BloomBytes == 0 {
 		t.Fatalf("implausible segment detail: %+v", d)
 	}
-	var q queryResponse
-	post(t, base+"/query", queryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q)
-	post(t, base+"/query", queryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q) // second hit caches
+	var q QueryResponse
+	post(t, base+"/query", QueryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q)
+	post(t, base+"/query", QueryRequest{Values: provinces, Threshold: 1.0}, http.StatusOK, &q) // second hit caches
 	get(t, base+"/stats", &st)
 	p := st.Planner
 	if p.SegmentsProbed+p.SegmentsRangePruned+p.SegmentsBloomPruned == 0 {
@@ -341,8 +341,8 @@ func TestDaemonTopKAndPlannerStats(t *testing.T) {
 	}
 
 	// Input validation.
-	post(t, base+"/query/topk", topKRequest{Values: nil}, http.StatusBadRequest, nil)
-	post(t, base+"/query/topk", topKRequest{Values: []string{"x"}, K: -1}, http.StatusBadRequest, nil)
+	post(t, base+"/query/topk", TopKRequest{Values: nil}, http.StatusBadRequest, nil)
+	post(t, base+"/query/topk", TopKRequest{Values: []string{"x"}, K: -1}, http.StatusBadRequest, nil)
 }
 
 func containsKey(keys []string, k string) bool {
