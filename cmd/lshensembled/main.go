@@ -15,7 +15,8 @@
 //	GET  /stats        index shape: segments, buffer, tombstones, counters
 //	POST /compact      full compaction, returns the new shape
 //	POST /save         persist a snapshot to the -snapshot path
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (static {"status":"ok"}, never walks the index)
+//	GET  /metrics      Prometheus text exposition (unless -no-metrics)
 //
 // /stats includes per-segment planner metadata ("segment_detail": entry
 // count, size range, max partition bound, Bloom-filter bytes) and the
@@ -55,11 +56,22 @@
 //	             [-no-prune] [-no-plan-cache] [-result-cache 1024]
 //	             [-read-header-timeout 10s] [-read-timeout 1m]
 //	             [-write-timeout 2m] [-idle-timeout 2m]
+//	             [-log-level info] [-log-json] [-no-metrics]
+//	             [-slow-query 1s] [-debug-addr localhost:7547]
 //
 // The planner escape hatches exist for A/B measurement and debugging:
 // -no-prune disables segment Bloom/range pruning and top-k early
 // termination, -no-plan-cache re-tunes (b, r) on every query, and
 // -result-cache sets the result-cache capacity in entries (0 disables it).
+//
+// Observability: every request is stamped with a trace ID (an inbound
+// X-Request-Id is honored, so a router-issued ID follows the request here)
+// and logged at Debug; queries slower than -slow-query log at Warn with the
+// planner's per-query breakdown. GET /metrics serves the zero-dependency
+// Prometheus text format (see the root package doc's Observability section
+// for the metric families). -debug-addr starts a separate listener with
+// net/http/pprof under /debug/pprof/ and a /metrics mirror — keep it off
+// public interfaces.
 package main
 
 import (
@@ -76,6 +88,7 @@ import (
 	"time"
 
 	"lshensemble"
+	"lshensemble/internal/obs"
 	"lshensemble/internal/serve"
 )
 
@@ -109,8 +122,17 @@ func run() error {
 	readTimeout := flag.Duration("read-timeout", time.Minute, "time limit for reading an entire request, body included")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "time limit for writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug includes per-request access logs)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of logfmt text")
+	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and GET /metrics")
+	slowQuery := flag.Duration("slow-query", time.Second, "log queries slower than this at Warn with the planner breakdown (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "separate debug listener with /debug/pprof/ and a /metrics mirror (empty disables; keep off public interfaces)")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		return err
+	}
 	if *mmap && *dataDir == "" {
 		return errors.New("-mmap requires -data-dir")
 	}
@@ -145,7 +167,7 @@ func run() error {
 				return fmt.Errorf("loading snapshot %s: %w", *snapshot, err)
 			}
 			idx = loaded
-			log.Printf("warm start: %d domains from %s", idx.Len(), *snapshot)
+			logger.Info("warm start", "domains", idx.Len(), "snapshot", *snapshot)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("checking snapshot %s: %w", *snapshot, err)
 		}
@@ -156,12 +178,21 @@ func run() error {
 			return fmt.Errorf("initializing index: %w", err)
 		}
 		idx = fresh
-		log.Print("cold start: empty index")
+		logger.Info("cold start: empty index")
 	}
 	defer idx.Close()
 
 	hasher := lshensemble.NewHasher(*hashes, *seed)
-	srv := serve.New(idx, hasher, *seed, *snapshot)
+	srv := serve.NewWith(idx, hasher, *seed, *snapshot, serve.Options{
+		Logger:         logger,
+		SlowQuery:      *slowQuery,
+		DisableMetrics: *noMetrics,
+	})
+	stopDebug, err := obs.StartDebugServer(*debugAddr, srv.Registry(), logger)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: srv,
@@ -178,14 +209,14 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (m=%d, rMax=%d, %d partitions/segment, seal at %d)",
-			*addr, *hashes, *rMax, *partitions, *seal)
+		logger.Info("serving", "addr", *addr, "hashes", *hashes, "rmax", *rMax,
+			"partitions", *partitions, "seal", *seal)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case sig := <-stop:
-		log.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	case err := <-errc:
 		return fmt.Errorf("serving: %w", err)
 	}
@@ -193,7 +224,7 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	if *snapshot != "" {
 		n, err := srv.SaveSnapshot()
@@ -204,7 +235,7 @@ func run() error {
 			// just failed.
 			return fmt.Errorf("saving snapshot: %w", err)
 		}
-		log.Printf("saved %s (%s, %d domains)", *snapshot, byteCount(n), idx.Len())
+		logger.Info("saved snapshot", "path", *snapshot, "size", byteCount(n), "domains", idx.Len())
 	}
 	return nil
 }

@@ -1,0 +1,375 @@
+// Command lshload is a closed-loop load generator for an lshensembled
+// daemon or an lshrouter fleet — both speak the same wire protocol, so one
+// harness drives either. It preloads a synthetic corpus, runs a weighted
+// mixed workload (add / delete / query / topk / batch) from -concurrency
+// workers for -duration, and prints a machine-readable JSON report with
+// per-operation p50/p95/p99/max latency, throughput, error rate and
+// partial-result rate.
+//
+// Latencies are measured client-side around the whole HTTP round trip and
+// recorded into the same fixed-bucket histograms the servers export, so a
+// daemon's server-side view (its /metrics) and this harness's client-side
+// view are directly comparable.
+//
+// Partial results: when the target is a router, degraded answers carry
+// "partial": true instead of an error status. The harness decodes that
+// field and counts partials separately from errors — a router limping on
+// one shard is visible without failing the run. With -fail-on-error the
+// process exits 1 if any operation got a non-2xx response or a transport
+// error (partials don't count), which is what CI wants from a smoke run.
+//
+// Usage:
+//
+//	lshload -target http://localhost:7447 [-duration 10s] [-concurrency 8]
+//	        [-mix add=1,delete=1,query=6,topk=1,batch=1] [-preload 1000]
+//	        [-keys 5000] [-values 30] [-threshold 0.5] [-k 10]
+//	        [-batch-size 8] [-timeout 5s] [-seed 1] [-fail-on-error]
+//
+// The synthetic corpus is deterministic in -seed: domain i draws -values
+// tokens from a sliding window over a shared token universe, so nearby
+// domains overlap and queries actually match. Keys cycle over -keys, so a
+// long run exercises replacement (re-adding a live key) and deletion of
+// keys other workers just wrote — the same churn the live index is built
+// for.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lshensemble/internal/obs"
+)
+
+// ops in mix order; indexes into the per-op stats arrays.
+const (
+	opAdd = iota
+	opDelete
+	opQuery
+	opTopK
+	opBatch
+	numOps
+)
+
+var opNames = [numOps]string{"add", "delete", "query", "topk", "batch"}
+
+// opStats aggregates one operation's outcomes across all workers.
+type opStats struct {
+	hist     *obs.Histogram
+	count    atomic.Uint64
+	errors   atomic.Uint64
+	partials atomic.Uint64
+}
+
+// report is the machine-readable result printed to stdout.
+type report struct {
+	Target      string              `json:"target"`
+	Duration    string              `json:"duration"`
+	Concurrency int                 `json:"concurrency"`
+	Mix         string              `json:"mix"`
+	TotalOps    uint64              `json:"total_ops"`
+	OpsPerSec   float64             `json:"ops_per_sec"`
+	Errors      uint64              `json:"errors"`
+	ErrorRate   float64             `json:"error_rate"`
+	Partials    uint64              `json:"partials"`
+	PartialRate float64             `json:"partial_rate"`
+	Ops         map[string]opReport `json:"ops"`
+}
+
+type opReport struct {
+	Count    uint64  `json:"count"`
+	Errors   uint64  `json:"errors"`
+	Partials uint64  `json:"partials"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lshload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "http://localhost:7447", "daemon or router base URL")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length (after preload)")
+	concurrency := flag.Int("concurrency", 8, "concurrent closed-loop workers")
+	mixSpec := flag.String("mix", "add=1,delete=1,query=6,topk=1,batch=1", "weighted op mix as op=weight pairs")
+	preload := flag.Int("preload", 1000, "domains ingested before the measured run (0 skips)")
+	keys := flag.Int("keys", 5000, "key-space size the workload cycles over")
+	values := flag.Int("values", 30, "tokens per synthetic domain")
+	threshold := flag.Float64("threshold", 0.5, "containment threshold for query/batch ops")
+	k := flag.Int("k", 10, "k for topk ops")
+	batchSize := flag.Int("batch-size", 8, "queries per batch op")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "workload RNG seed (corpus and op sequence are deterministic in it)")
+	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any op errored (partial results don't count)")
+	flag.Parse()
+
+	if *concurrency <= 0 || *values <= 0 || *keys <= 0 || *batchSize <= 0 {
+		return errors.New("-concurrency, -keys, -values and -batch-size must be positive")
+	}
+	weights, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	base := strings.TrimRight(*target, "/")
+	hc := &http.Client{Timeout: *timeout}
+	stats := make([]*opStats, numOps)
+	for i := range stats {
+		stats[i] = &opStats{hist: obs.NewHistogram(obs.DefBuckets)}
+	}
+
+	if *preload > 0 {
+		if err := doPreload(hc, base, *preload, *keys, *values, *seed, *concurrency); err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "preloaded %d domains into %s\n", *preload, base)
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				op := pickOp(rng, weights)
+				start := time.Now()
+				partial, err := doOp(hc, base, op, rng, *keys, *values, *threshold, *k, *batchSize)
+				st := stats[op]
+				st.hist.ObserveSince(start)
+				st.count.Add(1)
+				if err != nil {
+					st.errors.Add(1)
+				} else if partial {
+					st.partials.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := report{
+		Target:      base,
+		Duration:    duration.String(),
+		Concurrency: *concurrency,
+		Mix:         *mixSpec,
+		Ops:         make(map[string]opReport, numOps),
+	}
+	for i, st := range stats {
+		n := st.count.Load()
+		if n == 0 {
+			continue
+		}
+		or := opReport{
+			Count:    n,
+			Errors:   st.errors.Load(),
+			Partials: st.partials.Load(),
+			P50Ms:    st.hist.Quantile(0.50) * 1e3,
+			P95Ms:    st.hist.Quantile(0.95) * 1e3,
+			P99Ms:    st.hist.Quantile(0.99) * 1e3,
+			MaxMs:    st.hist.Max() * 1e3,
+			MeanMs:   st.hist.Sum() / float64(n) * 1e3,
+		}
+		rep.Ops[opNames[i]] = or
+		rep.TotalOps += n
+		rep.Errors += or.Errors
+		rep.Partials += or.Partials
+	}
+	if rep.TotalOps > 0 {
+		rep.OpsPerSec = float64(rep.TotalOps) / duration.Seconds()
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.TotalOps)
+		rep.PartialRate = float64(rep.Partials) / float64(rep.TotalOps)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *failOnError && rep.Errors > 0 {
+		return fmt.Errorf("%d of %d ops errored", rep.Errors, rep.TotalOps)
+	}
+	if rep.TotalOps == 0 {
+		return errors.New("no operations completed (is the target up?)")
+	}
+	return nil
+}
+
+// parseMix turns "add=1,query=6" into per-op weights.
+func parseMix(spec string) ([numOps]int, error) {
+	var weights [numOps]int
+	total := 0
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return weights, fmt.Errorf("bad -mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return weights, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		found := false
+		for i, n := range opNames {
+			if n == name {
+				weights[i] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return weights, fmt.Errorf("unknown -mix op %q (want one of %v)", name, opNames)
+		}
+		total += w
+	}
+	if total == 0 {
+		return weights, errors.New("-mix has zero total weight")
+	}
+	return weights, nil
+}
+
+func pickOp(rng *rand.Rand, weights [numOps]int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := rng.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return opQuery
+}
+
+// domainValues builds domain i's token set: a window over a shared token
+// universe so nearby domains overlap (queries have real matches).
+func domainValues(i, values int) []string {
+	out := make([]string, values)
+	for j := 0; j < values; j++ {
+		out[j] = "tok" + strconv.Itoa(i*3+j)
+	}
+	return out
+}
+
+func domainKey(i int) string { return "load:" + strconv.Itoa(i) }
+
+// doPreload ingests the initial corpus with the same concurrency as the
+// measured run, failing fast on the first error (a down target should abort
+// the run, not produce a report full of errors).
+func doPreload(hc *http.Client, base string, preload, keys, values int, seed int64, concurrency int) error {
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				body := map[string]any{"key": domainKey(i % keys), "values": domainValues(i%keys, values)}
+				if _, err := post(hc, base+"/add", body); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < preload; i++ {
+		if firstErr.Load() != nil {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+// doOp runs one operation and reports whether the answer was partial.
+func doOp(hc *http.Client, base string, op int, rng *rand.Rand, keys, values int, threshold float64, k, batchSize int) (bool, error) {
+	switch op {
+	case opAdd:
+		i := rng.Intn(keys)
+		return post(hc, base+"/add", map[string]any{"key": domainKey(i), "values": domainValues(i, values)})
+	case opDelete:
+		return post(hc, base+"/delete", map[string]any{"key": domainKey(rng.Intn(keys))})
+	case opQuery:
+		return post(hc, base+"/query", map[string]any{"values": queryValues(rng, keys, values), "threshold": threshold})
+	case opTopK:
+		return post(hc, base+"/query/topk", map[string]any{"values": queryValues(rng, keys, values), "k": k})
+	case opBatch:
+		qs := make([]map[string]any, batchSize)
+		for i := range qs {
+			qs[i] = map[string]any{"values": queryValues(rng, keys, values), "threshold": threshold}
+		}
+		return post(hc, base+"/query/batch", map[string]any{"queries": qs})
+	}
+	return false, fmt.Errorf("unknown op %d", op)
+}
+
+// queryValues samples a subset of a random domain's tokens, so containment
+// against the corpus is high and queries return matches.
+func queryValues(rng *rand.Rand, keys, values int) []string {
+	full := domainValues(rng.Intn(keys), values)
+	n := values/2 + 1
+	return full[:n]
+}
+
+// post sends one JSON request and reports whether the (2xx) response body
+// carried "partial": true. Non-2xx statuses and transport failures are
+// errors; the body is always drained so connections are reused.
+func post(hc *http.Client, url string, body any) (bool, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return false, err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, truncate(data, 200))
+	}
+	var probe struct {
+		Partial bool `json:"partial"`
+	}
+	json.Unmarshal(data, &probe)
+	return probe.Partial, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

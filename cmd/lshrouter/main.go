@@ -31,11 +31,24 @@
 //	          [-addr :7446] [-replication 1] [-vnodes 64] [-load-factor 1.25] \
 //	          [-shard-timeout 2s] [-health-interval 2s] [-health-fail 2] \
 //	          [-read-header-timeout 10s] [-read-timeout 1m] \
-//	          [-write-timeout 2m] [-idle-timeout 2m]
+//	          [-write-timeout 2m] [-idle-timeout 2m] \
+//	          [-log-level info] [-log-json] [-no-metrics] \
+//	          [-debug-addr localhost:7546]
 //
 // All shards must run the same -seed and -hashes, or their signatures are
 // incomparable; the router's /stats surfaces each shard's values so a
 // mismatched fleet is visible at a glance.
+//
+// Observability: every request carries a trace ID (an inbound X-Request-Id
+// is honored, otherwise one is minted) that the router stamps on every
+// shard fan-out call, so one ID follows a request from the router access
+// log into each shard's. GET /metrics exposes request counters/latency
+// histograms per endpoint plus the fleet view: lshrouter_shards_live,
+// lshrouter_shard_demotions_total / _promotions_total / _errors_total
+// (labelled by shard) and lshrouter_partial_responses_total. Demotions and
+// promotions also log at Warn/Info. -debug-addr starts a separate listener
+// with net/http/pprof under /debug/pprof/ and a /metrics mirror — keep it
+// off public interfaces.
 package main
 
 import (
@@ -52,6 +65,7 @@ import (
 	"time"
 
 	"lshensemble/internal/cluster"
+	"lshensemble/internal/obs"
 )
 
 func main() {
@@ -74,8 +88,16 @@ func run() error {
 	readTimeout := flag.Duration("read-timeout", time.Minute, "time limit for reading an entire request, body included")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "time limit for writing a response")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error (debug includes per-request access logs)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of logfmt text")
+	noMetrics := flag.Bool("no-metrics", false, "disable metric collection and GET /metrics")
+	debugAddr := flag.String("debug-addr", "", "separate debug listener with /debug/pprof/ and a /metrics mirror (empty disables; keep off public interfaces)")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		return err
+	}
 	if *shards == "" {
 		return errors.New("-shards is required (comma-separated base URLs)")
 	}
@@ -95,12 +117,20 @@ func run() error {
 		ShardTimeout:   *shardTimeout,
 		HealthInterval: *healthInterval,
 		HealthFailures: *healthFail,
+		Logger:         logger,
+		DisableMetrics: *noMetrics,
 	})
 	if err != nil {
 		return err
 	}
 	router.Start()
 	defer router.Close()
+
+	stopDebug, err := obs.StartDebugServer(*debugAddr, router.Registry(), logger)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -115,21 +145,21 @@ func run() error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("routing %d shards on %s (replication=%d, vnodes=%d, load-factor=%.2f)",
-			len(urls), *addr, *replication, *vnodes, *loadFactor)
+		logger.Info("routing", "shards", len(urls), "addr", *addr,
+			"replication", *replication, "vnodes", *vnodes, "load_factor", *loadFactor)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case sig := <-stop:
-		log.Printf("received %s, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	case err := <-errc:
 		return fmt.Errorf("serving: %w", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
 	return nil
 }

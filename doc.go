@@ -229,6 +229,53 @@
 // from the dead shard's -snapshot file or -data-dir manifest and listing
 // it at the same URL — the ring is indifferent to which process answers.
 //
+// # Observability
+//
+// Both binaries are instrumented end to end with a dependency-free metrics
+// core (internal/obs): atomic counters and gauges plus fixed-bucket
+// histograms whose record path is lock-free and allocation-free, so the
+// instrumented query path still performs zero steady-state allocations
+// per query (BenchmarkLiveQueryMetricsOverhead). GET /metrics on each
+// binary serves the Prometheus text exposition format; -no-metrics turns
+// collection off entirely.
+//
+// lshensembled exports, per endpoint, lshensembled_http_requests_total
+// {endpoint, code} (status classes 2xx/4xx/5xx), latency histograms
+// lshensembled_http_request_seconds{endpoint}, and an in-flight gauge —
+// plus the index itself: lshensembled_live_query_seconds{op=query|topk|
+// batch} recorded by an observer hook inside the live index, gauges for
+// domains, segments, buffered entries, tombstones and segment resident/
+// file bytes, seal/merge/spill counters, and the planner's decision
+// counters (lshensembled_planner_segments_total{decision=probed|
+// range_pruned|bloom_pruned}, plan/result-cache hit/miss, top-k early
+// exits, buffer scans vs Bloom skips) mirrored from LiveStats at scrape
+// time so the query path pays nothing for them.
+//
+// lshrouter exports the same per-endpoint HTTP families under the
+// lshrouter_ prefix plus fleet health: lshrouter_shards_live,
+// lshrouter_shard_demotions_total / _promotions_total / _errors_total
+// {shard}, and lshrouter_partial_responses_total.
+//
+// Request tracing: every request is stamped with a trace ID — an inbound
+// X-Request-Id is honored (sanitized), otherwise one is generated — echoed
+// on the response, propagated by the router to every shard fan-out call,
+// and attached as trace_id to the structured per-request logs (log/slog,
+// Debug level; -log-level, -log-json), so one ID follows a query from the
+// router into each shard's log. Queries slower than lshensembled's
+// -slow-query threshold log at Warn with the planner's per-query
+// breakdown (segments probed vs range/Bloom pruned, buffer scanned,
+// result-cache hit). GET /healthz on both binaries is a static
+// {"status":"ok"} that never touches the index, safe for tight probe
+// loops. -debug-addr starts a separate listener with net/http/pprof under
+// /debug/pprof/ and a /metrics mirror, kept off the serving port.
+//
+// cmd/lshload is the closed-loop load harness: it drives any endpoint
+// speaking the daemon wire protocol (one shard or a router) with a
+// weighted add/delete/query/topk/batch mix at fixed concurrency and
+// prints a machine-readable JSON report of per-op p50/p95/p99/max/mean
+// latency, throughput, and error/partial rates — see the command doc for
+// flags.
+//
 // See ROADMAP.md for representative before/after benchmark numbers.
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory,

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"lshensemble/internal/obs"
 	"lshensemble/internal/serve"
 )
 
@@ -60,6 +61,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the router's trace ID so one request ID follows the call
+	// from router access log to shard access log.
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lshensemble/internal/obs"
 	"lshensemble/internal/serve"
 )
 
@@ -28,6 +30,17 @@ type Options struct {
 	// HealthFailures is how many consecutive probe failures demote a shard
 	// from the ring (one success promotes it back). Default 2.
 	HealthFailures int
+	// Logger receives access logs (Debug), demotion/promotion transitions
+	// (Warn/Info) and 5xx logs, all keyed by trace_id. Nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Registry receives router metrics under the "lshrouter" prefix. Nil
+	// allocates a private registry (exposed via Registry()); ignored when
+	// DisableMetrics.
+	Registry *obs.Registry
+	// DisableMetrics turns off metric collection and the /metrics endpoint;
+	// trace-ID stamping and propagation stay on.
+	DisableMetrics bool
 }
 
 func (o *Options) defaults() {
@@ -49,6 +62,18 @@ type shard struct {
 	client *Client
 	alive  atomic.Bool
 	fails  int // consecutive probe failures; touched only by the checker
+
+	// Per-shard metric children; nil when metrics are disabled.
+	demotions  *obs.Counter
+	promotions *obs.Counter
+	errors     *obs.Counter
+}
+
+// incr bumps a counter that may be nil (metrics disabled).
+func incr(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
 }
 
 // Router is a stateless scatter-gather front for a fleet of lshensembled
@@ -74,6 +99,12 @@ type Router struct {
 	ring   atomic.Pointer[Ring]
 	mux    *http.ServeMux
 
+	logger     *slog.Logger
+	reg        *obs.Registry
+	httpm      *obs.HTTPMetrics
+	shardsLive *obs.Gauge
+	partials   *obs.Counter
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -90,28 +121,76 @@ func NewRouter(shardURLs []string, opts Options) (*Router, error) {
 	names := append([]string(nil), shardURLs...)
 	sort.Strings(names)
 	r := &Router{opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	r.logger = opts.Logger
+	if r.logger == nil {
+		r.logger = slog.Default()
+	}
+	if !opts.DisableMetrics {
+		r.reg = opts.Registry
+		if r.reg == nil {
+			r.reg = obs.NewRegistry()
+		}
+		r.httpm = obs.NewHTTPMetrics(r.reg, "lshrouter", r.logger)
+		r.shardsLive = r.reg.Gauge("lshrouter_shards_live", "Shards currently in the ring.")
+		r.reg.Gauge("lshrouter_shards_total", "Shards configured at startup.").Set(int64(len(shardURLs)))
+		r.partials = r.reg.Counter("lshrouter_partial_responses_total",
+			"Merged responses missing at least one shard's contribution.")
+	}
 	for i, name := range names {
 		if name == "" || (i > 0 && name == names[i-1]) {
 			return nil, fmt.Errorf("cluster: empty or duplicate shard URL %q", name)
 		}
 		s := &shard{name: name, client: NewClient(name, opts.ShardTimeout)}
 		s.alive.Store(true)
+		if r.reg != nil {
+			s.demotions = r.reg.Counter("lshrouter_shard_demotions_total",
+				"Health-checker demotions (shard dropped from the ring).", obs.L("shard", name))
+			s.promotions = r.reg.Counter("lshrouter_shard_promotions_total",
+				"Health-checker promotions (demoted shard rejoined the ring).", obs.L("shard", name))
+			s.errors = r.reg.Counter("lshrouter_shard_errors_total",
+				"Failed shard calls (timeouts, refusals, non-2xx).", obs.L("shard", name))
+		}
 		r.shards = append(r.shards, s)
 	}
 	r.rebuild()
 
 	r.mux = http.NewServeMux()
-	r.mux.HandleFunc("POST /add", r.handleAdd)
-	r.mux.HandleFunc("POST /delete", r.handleDelete)
-	r.mux.HandleFunc("POST /query", r.handleQuery)
-	r.mux.HandleFunc("POST /query/topk", r.handleTopK)
-	r.mux.HandleFunc("POST /query/batch", r.handleBatch)
-	r.mux.HandleFunc("GET /stats", r.handleStats)
-	r.mux.HandleFunc("GET /ring", r.handleRing)
+	r.handle("POST /add", "add", r.handleAdd)
+	r.handle("POST /delete", "delete", r.handleDelete)
+	r.handle("POST /query", "query", r.handleQuery)
+	r.handle("POST /query/topk", "query_topk", r.handleTopK)
+	r.handle("POST /query/batch", "query_batch", r.handleBatch)
+	r.handle("GET /stats", "stats", r.handleStats)
+	r.handle("GET /ring", "ring", r.handleRing)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
-	r.mux.HandleFunc("POST /compact", r.handleCompact)
-	r.mux.HandleFunc("POST /save", r.handleSave)
+	r.handle("POST /compact", "compact", r.handleCompact)
+	r.handle("POST /save", "save", r.handleSave)
+	if r.reg != nil {
+		r.mux.Handle("GET /metrics", r.reg.Handler())
+	}
 	return r, nil
+}
+
+// handle mounts h wrapped in the metrics middleware, or in plain trace-ID
+// stamping when metrics are disabled — either way every request carries a
+// trace ID into the shard fan-out.
+func (r *Router) handle(pattern, endpoint string, h http.HandlerFunc) {
+	if r.httpm != nil {
+		r.mux.Handle(pattern, r.httpm.Wrap(endpoint, h))
+	} else {
+		r.mux.Handle(pattern, obs.TraceMiddleware(h))
+	}
+}
+
+// Registry returns the router's metric registry, nil when metrics are
+// disabled.
+func (r *Router) Registry() *obs.Registry { return r.reg }
+
+// notePartial counts a merged response that is missing shard contributions.
+func (r *Router) notePartial(failed []string) {
+	if len(failed) > 0 && r.partials != nil {
+		r.partials.Inc()
+	}
 }
 
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
@@ -167,6 +246,9 @@ func (r *Router) CheckHealth() {
 			if !s.alive.Load() {
 				s.alive.Store(true)
 				changed = true
+				incr(s.promotions)
+				r.logger.LogAttrs(context.Background(), slog.LevelInfo, "shard promoted",
+					slog.String("shard", s.name))
 			}
 			continue
 		}
@@ -174,6 +256,11 @@ func (r *Router) CheckHealth() {
 		if s.fails >= r.opts.HealthFailures && s.alive.Load() {
 			s.alive.Store(false)
 			changed = true
+			incr(s.demotions)
+			r.logger.LogAttrs(context.Background(), slog.LevelWarn, "shard demoted",
+				slog.String("shard", s.name),
+				slog.Int("consecutive_failures", s.fails),
+				slog.String("error", results[i].Error()))
 		}
 	}
 	if changed {
@@ -190,6 +277,9 @@ func (r *Router) rebuild() {
 		}
 	}
 	r.ring.Store(NewRing(live, r.opts.Ring))
+	if r.shardsLive != nil {
+		r.shardsLive.Set(int64(len(live)))
+	}
 }
 
 // liveShards returns the shards currently in the ring.
@@ -312,6 +402,7 @@ func (r *Router) forEachOwner(ctx context.Context, key string, call func(context
 			mu.Lock()
 			if err != nil {
 				failed = append(failed, s.name)
+				incr(s.errors)
 			} else {
 				acked = append(acked, s.name)
 			}
@@ -357,6 +448,7 @@ func (r *Router) handleAdd(w http.ResponseWriter, req *http.Request) {
 			fmt.Errorf("no owner accepted key %q (failed: %v)", body.Key, failed))
 		return
 	}
+	r.notePartial(failed)
 	serve.WriteJSON(w, http.StatusOK, RouterAddResponse{
 		AddResponse: first, Shards: acked, Failed: failed, Partial: len(failed) > 0,
 	})
@@ -391,6 +483,7 @@ func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
 			fmt.Errorf("no owner acknowledged delete of %q (failed: %v)", body.Key, failed))
 		return
 	}
+	r.notePartial(failed)
 	serve.WriteJSON(w, http.StatusOK, RouterDeleteResponse{
 		DeleteResponse: serve.DeleteResponse{Deleted: deleted.Load()},
 		Shards:         acked, Failed: failed, Partial: len(failed) > 0,
@@ -423,9 +516,10 @@ func scatter[T any](r *Router, ctx context.Context, call func(context.Context, *
 		}(i, s)
 	}
 	wg.Wait()
-	for _, res := range results {
+	for i, res := range results {
 		if res.err != nil {
 			failed = append(failed, res.name)
+			incr(live[i].errors)
 		} else {
 			oks = append(oks, res.resp)
 		}
@@ -461,6 +555,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	merged := mergeMatches(oks)
+	r.notePartial(failed)
 	serve.WriteJSON(w, http.StatusOK, RouterQueryResponse{
 		QueryResponse: serve.QueryResponse{Matches: merged, Count: len(merged)},
 		Partial:       len(failed) > 0,
@@ -484,6 +579,7 @@ func (r *Router) handleTopK(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	merged := mergeTopK(oks, k)
+	r.notePartial(failed)
 	serve.WriteJSON(w, http.StatusOK, RouterTopKResponse{
 		TopKResponse: serve.TopKResponse{Matches: merged, Count: len(merged)},
 		Partial:      len(failed) > 0,
@@ -507,6 +603,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	rows := mergeBatch(oks, len(body.Queries))
+	r.notePartial(failed)
 	serve.WriteJSON(w, http.StatusOK, RouterBatchResponse{
 		BatchResponse: serve.BatchResponse{Rows: rows},
 		Partial:       len(failed) > 0,

@@ -123,6 +123,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lshensemble/internal/bloom"
 	"lshensemble/internal/core"
@@ -394,6 +395,10 @@ type Index struct {
 
 	scratch sync.Pool // *queryScratch
 
+	// observer holds an observerBox with the installed latency Observer
+	// (SetObserver); loaded lock-free once per query.
+	observer atomic.Value
+
 	nudge     chan struct{}
 	stop      chan struct{}
 	done      chan struct{}
@@ -404,6 +409,96 @@ type Index struct {
 // a reusable id buffer for the per-segment candidate lists.
 type queryScratch struct {
 	ids []uint32
+}
+
+// QueryKind discriminates the query entry points for Observer callbacks.
+type QueryKind uint8
+
+const (
+	// KindQuery is a single containment query (Query and friends).
+	KindQuery QueryKind = iota
+	// KindTopK is a ranked query (QueryTopK and friends).
+	KindTopK
+	// KindBatch is one whole batch dispatch (QueryBatch and friends); the
+	// observed duration covers the entire batch, not one row.
+	KindBatch
+)
+
+// String names the kind for metric labels.
+func (k QueryKind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindTopK:
+		return "topk"
+	default:
+		return "batch"
+	}
+}
+
+// Observer receives one callback per query with its measured wall-clock
+// latency. Implementations must be safe for concurrent use and should be
+// allocation-free (the callback sits on the index's allocation-free query
+// path); internal/obs histograms qualify. Result-cache hits are observed
+// too — fast answers are part of the latency distribution.
+type Observer interface {
+	ObserveQuery(kind QueryKind, d time.Duration)
+}
+
+// SetObserver installs (or with nil, removes) the latency observer. Safe
+// to call at any time, including while queries are in flight.
+func (x *Index) SetObserver(o Observer) {
+	x.observer.Store(observerBox{o})
+}
+
+// observerBox wraps the interface so atomic.Value always stores one
+// concrete type (a nil interface cannot be stored directly).
+type observerBox struct{ o Observer }
+
+func (x *Index) getObserver() Observer {
+	if v := x.observer.Load(); v != nil {
+		return v.(observerBox).o
+	}
+	return nil
+}
+
+// QueryTrace, when attached to a query's context via WithQueryTrace,
+// records what the planner did for that one query — the per-request view
+// of the aggregate Stats.Planner counters. The serving layer uses it to
+// dump a planner breakdown into the slow-query log.
+//
+// Only the single-query path (Query/QueryContext/QueryAppend*) fills a
+// trace; batch and top-k queries ignore it.
+type QueryTrace struct {
+	// ResultCacheHit reports the query was answered from the result cache
+	// without touching a segment.
+	ResultCacheHit bool
+	// Segments and Buffered describe the snapshot the query ran against.
+	Segments int
+	Buffered int
+	// SegmentsProbed / SegmentsRangePruned / SegmentsBloomPruned partition
+	// the per-segment planner decisions for this query.
+	SegmentsProbed      int
+	SegmentsRangePruned int
+	SegmentsBloomPruned int
+	// BufferScanned / BufferBloomSkipped report whether the unsealed
+	// buffer was linearly scanned or skipped by its Bloom filter.
+	BufferScanned      bool
+	BufferBloomSkipped bool
+}
+
+// traceCtxKey carries a *QueryTrace in a context.
+type traceCtxKey struct{}
+
+// WithQueryTrace returns ctx carrying t; the next single query run under
+// the returned context fills it in.
+func WithQueryTrace(ctx context.Context, t *QueryTrace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+func queryTraceFrom(ctx context.Context) *QueryTrace {
+	t, _ := ctx.Value(traceCtxKey{}).(*QueryTrace)
+	return t
 }
 
 // New constructs an empty live index and, unless opts.ManualCompaction is
@@ -628,6 +723,16 @@ func (x *Index) QueryContext(ctx context.Context, sig minhash.Signature, querySi
 // the cancellation semantics. On cancellation dst is returned grown by an
 // unspecified prefix of the answer alongside ctx.Err().
 func (x *Index) QueryAppendContext(ctx context.Context, dst []string, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
+	if o := x.getObserver(); o != nil {
+		start := time.Now()
+		dst, err := x.queryAppendContext(ctx, dst, sig, querySize, tStar)
+		o.ObserveQuery(KindQuery, time.Since(start))
+		return dst, err
+	}
+	return x.queryAppendContext(ctx, dst, sig, querySize, tStar)
+}
+
+func (x *Index) queryAppendContext(ctx context.Context, dst []string, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
 	if querySize <= 0 {
 		return dst, nil
 	}
@@ -638,19 +743,27 @@ func (x *Index) QueryAppendContext(ctx context.Context, dst []string, sig minhas
 	// Pin the snapshot: a concurrent seal/merge may retire (and under mmap,
 	// unmap) segments the fan-out is still probing.
 	sn := x.acquireSnap()
+	tr := queryTraceFrom(ctx)
+	if tr != nil {
+		tr.Segments = len(sn.segs)
+		tr.Buffered = len(sn.buf)
+	}
 	var h uint64
 	tBits := math.Float64bits(tStar)
 	if x.rc != nil {
 		h = queryHash(sig, querySize, tBits)
 		if e := x.lookupResult(sn, sig, querySize, tBits, h); e != nil {
 			x.resHits.Add(1)
+			if tr != nil {
+				tr.ResultCacheHit = true
+			}
 			x.releaseSnap(sn)
 			return append(dst, e.keys...), nil
 		}
 		x.resMisses.Add(1)
 	}
 	base := len(dst)
-	dst, err := x.querySnapshot(ctx, dst, sn, sig, querySize, tStar)
+	dst, err := x.querySnapshot(ctx, dst, sn, sig, querySize, tStar, tr)
 	// A canceled fan-out collected only a prefix of the answer; caching it
 	// would serve the truncation to later, uncanceled queries.
 	if err == nil && x.rc != nil {
@@ -676,8 +789,9 @@ func clampThreshold(t float64) float64 {
 // disabled it degrades to the plain probe-everything loop. sig and tStar
 // must already be clamped. ctx is checked once per segment and periodically
 // inside the buffer scan; on cancellation dst is returned as collected so
-// far alongside ctx.Err().
-func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
+// far alongside ctx.Err(). tr, when non-nil, receives the per-query
+// planner breakdown (mirroring the aggregate counters).
+func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64, tr *QueryTrace) ([]string, error) {
 	if len(sn.segs) > 0 {
 		s := x.acquireScratch()
 		if x.opts.DisablePruning {
@@ -685,6 +799,9 @@ func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, s
 				if err := ctx.Err(); err != nil {
 					x.releaseScratch(s)
 					return dst, err
+				}
+				if tr != nil {
+					tr.SegmentsProbed++
 				}
 				dst = x.appendSegmentMatches(dst, s, sn, seg, sig, querySize, tStar)
 			}
@@ -698,13 +815,22 @@ func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, s
 				pp := plan.params[si]
 				if pp == nil {
 					x.segRangePruned.Add(1)
+					if tr != nil {
+						tr.SegmentsRangePruned++
+					}
 					continue
 				}
 				if !seg.meta.mayCollide(sig, x.opts.RMax) {
 					x.segBloomPruned.Add(1)
+					if tr != nil {
+						tr.SegmentsBloomPruned++
+					}
 					continue
 				}
 				x.segProbed.Add(1)
+				if tr != nil {
+					tr.SegmentsProbed++
+				}
 				// A sealed segment is never dirty and the plan matches its
 				// partition count, so the error path is unreachable.
 				s.ids, _ = seg.idx.QueryIDsPlannedAppend(s.ids[:0], sig, pp)
@@ -713,7 +839,7 @@ func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, s
 		}
 		x.releaseScratch(s)
 	}
-	return x.appendBufferMatches(ctx, dst, sn, sig, querySize, tStar)
+	return x.appendBufferMatches(ctx, dst, sn, sig, querySize, tStar, tr)
 }
 
 // appendSegmentMatches probes one sealed segment the pre-planner way and
@@ -750,7 +876,7 @@ func appendLiveKeys(dst []string, sn *snapshot, seg *segment, ids []uint32) []st
 // one (b, r) for the whole scan, and an entry matches if any of the b bands
 // of r hash values collide — the LSH forest's collision condition, without
 // the forest.
-func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64) ([]string, error) {
+func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snapshot, sig minhash.Signature, querySize int, tStar float64, tr *QueryTrace) ([]string, error) {
 	if len(sn.buf) == 0 {
 		return dst, nil
 	}
@@ -781,10 +907,16 @@ func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snaps
 		}
 		if !may {
 			x.bufBloomSkips.Add(1)
+			if tr != nil {
+				tr.BufferBloomSkipped = true
+			}
 			return dst, nil
 		}
 	}
 	x.bufScans.Add(1)
+	if tr != nil {
+		tr.BufferScanned = true
+	}
 	params := x.tuner.Optimize(u, q, tStar)
 	for i := range sn.buf {
 		// The buffer is bounded by SealThreshold in steady state but not
@@ -850,6 +982,16 @@ func (x *Index) QueryBatch(queries []core.BatchQuery, workers int) [][]string {
 // instead of burning CPU to completion. On cancellation it returns
 // (nil, ctx.Err()); partial rows are discarded, never cached.
 func (x *Index) QueryBatchContext(ctx context.Context, queries []core.BatchQuery, workers int) ([][]string, error) {
+	if o := x.getObserver(); o != nil {
+		start := time.Now()
+		rows, err := x.queryBatchContext(ctx, queries, workers)
+		o.ObserveQuery(KindBatch, time.Since(start))
+		return rows, err
+	}
+	return x.queryBatchContext(ctx, queries, workers)
+}
+
+func (x *Index) queryBatchContext(ctx context.Context, queries []core.BatchQuery, workers int) ([][]string, error) {
 	rows := make([][]string, len(queries))
 	if len(queries) == 0 {
 		return rows, nil
@@ -935,7 +1077,7 @@ func (x *Index) QueryBatchContext(ctx context.Context, queries []core.BatchQuery
 	for _, qi := range pending {
 		if len(sn.buf) > 0 {
 			var err error
-			rows[qi], err = x.appendBufferMatches(ctx, rows[qi], sn, norm[qi].Sig, norm[qi].Size, norm[qi].Threshold)
+			rows[qi], err = x.appendBufferMatches(ctx, rows[qi], sn, norm[qi].Sig, norm[qi].Size, norm[qi].Threshold, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -963,6 +1105,16 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) []core.TopKRe
 // segment visit, so a canceled request stops ranking instead of walking the
 // remaining segments. On cancellation it returns (nil, ctx.Err()).
 func (x *Index) QueryTopKContext(ctx context.Context, sig minhash.Signature, querySize, k int) ([]core.TopKResult, error) {
+	if o := x.getObserver(); o != nil {
+		start := time.Now()
+		results, err := x.queryTopKContext(ctx, sig, querySize, k)
+		o.ObserveQuery(KindTopK, time.Since(start))
+		return results, err
+	}
+	return x.queryTopKContext(ctx, sig, querySize, k)
+}
+
+func (x *Index) queryTopKContext(ctx context.Context, sig minhash.Signature, querySize, k int) ([]core.TopKResult, error) {
 	if k <= 0 || querySize <= 0 {
 		return nil, nil
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that the race detector is active: its runtime adds
+// allocations of its own, so strict allocation-count assertions are
+// skipped.
+const raceEnabled = true

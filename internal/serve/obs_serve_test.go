@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lshensemble"
+	"lshensemble/internal/obs"
+)
+
+func testServerWith(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	const seed = 1
+	idx, err := lshensemble.BuildLive(nil, lshensemble.LiveOptions{
+		Options:       lshensemble.Options{NumHash: 256, RMax: 8, NumPartitions: 4},
+		SealThreshold: 8,
+		MaxSegments:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(idx.Close)
+	s := NewWith(idx, lshensemble.NewHasher(256, seed), seed, "", opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint drives traffic through every query entry point and
+// checks the scrape exposes the HTTP middleware families, the live-query
+// latency histograms and the index shape/planner families with moving
+// values.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, "")
+	base := ts.URL
+	seedCorpus(t, base)
+	var qr QueryResponse
+	post(t, base+"/query", QueryRequest{Values: []string{"Ontario", "Quebec"}, Threshold: 0.9}, http.StatusOK, &qr)
+	var tr TopKResponse
+	post(t, base+"/query/topk", TopKRequest{Values: []string{"Ontario", "Quebec"}, K: 2}, http.StatusOK, &tr)
+	var br BatchResponse
+	post(t, base+"/query/batch", BatchRequest{Queries: []QueryRequest{
+		{Values: []string{"Ontario"}}, {Values: []string{"Toronto", "Montreal"}},
+	}}, http.StatusOK, &br)
+	post(t, base+"/query", QueryRequest{}, http.StatusBadRequest, nil)
+
+	text := scrape(t, base)
+	for _, want := range []string{
+		`lshensembled_http_requests_total{code="2xx",endpoint="query"} `,
+		`lshensembled_http_requests_total{code="4xx",endpoint="query"} 1`,
+		`lshensembled_http_request_seconds_bucket{endpoint="query",le="+Inf"} `,
+		`lshensembled_http_in_flight `,
+		`lshensembled_live_query_seconds_count{op="query"} 1`,
+		`lshensembled_live_query_seconds_count{op="topk"} 1`,
+		`lshensembled_live_query_seconds_count{op="batch"} 1`,
+		`lshensembled_live_domains 3`,
+		`lshensembled_planner_segments_total{decision="probed"} `,
+		`lshensembled_planner_result_cache_total{outcome="miss"} `,
+		"# TYPE lshensembled_live_query_seconds histogram",
+		"# TYPE lshensembled_live_seals_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Counters move: a second scrape after more traffic shows more requests.
+	post(t, base+"/query", QueryRequest{Values: []string{"Ontario"}}, http.StatusOK, &qr)
+	post(t, base+"/query", QueryRequest{Values: []string{"Ontario"}}, http.StatusOK, &qr)
+	text2 := scrape(t, base)
+	if !strings.Contains(text2, `lshensembled_live_query_seconds_count{op="query"} 3`) {
+		t.Error("query latency count did not advance across scrapes")
+	}
+}
+
+// TestHealthzStatic pins the liveness contract: a constant JSON body with
+// no snapshot walk behind it.
+func TestHealthzStatic(t *testing.T) {
+	_, ts := testServer(t, "")
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(b) != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("GET /healthz: status %d body %q", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz content type %q", ct)
+	}
+}
+
+// TestDisableMetrics checks the opt-out: no registry, no /metrics route,
+// handlers still serve.
+func TestDisableMetrics(t *testing.T) {
+	s, ts := testServerWith(t, Options{DisableMetrics: true})
+	if s.Registry() != nil {
+		t.Error("DisableMetrics left a registry attached")
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with metrics disabled: status %d, want 404", resp.StatusCode)
+	}
+	var qr QueryResponse
+	seedCorpus(t, ts.URL)
+	post(t, ts.URL+"/query", QueryRequest{Values: []string{"Ontario"}}, http.StatusOK, &qr)
+}
+
+// TestSlowQueryLog checks the threshold gate: with a 1ns threshold every
+// query is "slow" and the Warn line carries the trace id and the planner
+// breakdown.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	_, ts := testServerWith(t, Options{Logger: logger, SlowQuery: time.Nanosecond})
+	seedCorpus(t, ts.URL)
+
+	req, err := http.NewRequest("POST", ts.URL+"/query",
+		strings.NewReader(`{"values":["Ontario","Quebec"],"threshold":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "slowtest-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "slowtest-123" {
+		t.Errorf("response trace id %q, want the inbound one echoed", got)
+	}
+	out := buf.String()
+	for _, want := range []string{"slow query", "trace_id=slowtest-123", "op=query", "segments_probed="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query log missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Under the threshold nothing logs: raise it out of reach and re-query.
+	buf.Reset()
+	_, ts2 := testServerWith(t, Options{Logger: logger, SlowQuery: time.Hour})
+	seedCorpus(t, ts2.URL)
+	var qr QueryResponse
+	post(t, ts2.URL+"/query", QueryRequest{Values: []string{"Ontario"}}, http.StatusOK, &qr)
+	if s := buf.String(); strings.Contains(s, "slow query") {
+		t.Errorf("sub-threshold query logged as slow:\n%s", s)
+	}
+}
+
+// TestSharedRegistry checks two servers can export into one registry under
+// distinct prefixes (the router pattern: router + local shard metrics on
+// one /metrics page).
+func TestSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	sA, _ := testServerWith(t, Options{Registry: reg, MetricsPrefix: "shard_a"})
+	sB, _ := testServerWith(t, Options{Registry: reg, MetricsPrefix: "shard_b"})
+	if sA.Registry() != reg || sB.Registry() != reg {
+		t.Fatal("servers did not adopt the shared registry")
+	}
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	for _, want := range []string{"shard_a_live_domains", "shard_b_live_domains"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shared scrape missing %q", want)
+		}
+	}
+}

@@ -23,12 +23,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"lshensemble"
+	"lshensemble/internal/obs"
 	"lshensemble/internal/segfile"
 )
 
@@ -42,25 +45,166 @@ type Server struct {
 	snapshotPath string
 	saveMu       sync.Mutex
 	mux          *http.ServeMux
+
+	logger    *slog.Logger
+	reg       *obs.Registry
+	httpm     *obs.HTTPMetrics
+	slowQuery time.Duration
 }
 
-// New constructs the handler set over one live index. snapshotPath may be
-// empty to disable /save.
+// Options configures the server's observability. The zero value serves with
+// metrics on (a fresh registry), slog.Default() logging, and slow-query
+// logging off.
+type Options struct {
+	// Logger receives access logs (Debug), 5xx logs (Error) and slow-query
+	// logs (Warn), all keyed by trace_id. Nil means slog.Default().
+	Logger *slog.Logger
+	// Registry receives the server's metrics. Nil allocates a private
+	// registry (exposed via Registry()); ignored when DisableMetrics.
+	Registry *obs.Registry
+	// MetricsPrefix namespaces every metric family; default "lshensembled".
+	MetricsPrefix string
+	// SlowQuery, when positive, logs any query/topk/batch slower than the
+	// threshold at Warn with the planner's per-query trace.
+	SlowQuery time.Duration
+	// DisableMetrics turns off metric collection and the /metrics endpoint
+	// entirely — the handlers run with zero instrumentation overhead.
+	DisableMetrics bool
+}
+
+// New constructs the handler set over one live index with default
+// observability (metrics on, slog.Default()). snapshotPath may be empty to
+// disable /save.
 func New(idx *lshensemble.LiveIndex, hasher *lshensemble.Hasher, seed uint64, snapshotPath string) *Server {
+	return NewWith(idx, hasher, seed, snapshotPath, Options{})
+}
+
+// NewWith is New with explicit observability options.
+func NewWith(idx *lshensemble.LiveIndex, hasher *lshensemble.Hasher, seed uint64, snapshotPath string, opts Options) *Server {
 	s := &Server{idx: idx, hasher: hasher, seed: seed, snapshotPath: snapshotPath, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /add", s.handleAdd)
-	s.mux.HandleFunc("POST /delete", s.handleDelete)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /query/topk", s.handleQueryTopK)
-	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /compact", s.handleCompact)
-	s.mux.HandleFunc("POST /save", s.handleSave)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.slowQuery = opts.SlowQuery
+	prefix := opts.MetricsPrefix
+	if prefix == "" {
+		prefix = "lshensembled"
+	}
+	if !opts.DisableMetrics {
+		s.reg = opts.Registry
+		if s.reg == nil {
+			s.reg = obs.NewRegistry()
+		}
+		s.httpm = obs.NewHTTPMetrics(s.reg, prefix, s.logger)
+		s.registerIndexMetrics(prefix)
+	}
+	s.handle("POST /add", "add", s.handleAdd)
+	s.handle("POST /delete", "delete", s.handleDelete)
+	s.handle("POST /query", "query", s.handleQuery)
+	s.handle("POST /query/topk", "query_topk", s.handleQueryTopK)
+	s.handle("POST /query/batch", "query_batch", s.handleQueryBatch)
+	s.handle("GET /stats", "stats", s.handleStats)
+	s.handle("POST /compact", "compact", s.handleCompact)
+	s.handle("POST /save", "save", s.handleSave)
+	// Liveness must stay cheap: a static body, no snapshot walk, no JSON
+	// encoder — health checkers poll this at high frequency.
+	s.mux.HandleFunc("GET /healthz", handleHealthz)
+	if s.reg != nil {
+		s.mux.Handle("GET /metrics", s.reg.Handler())
+	}
 	return s
 }
+
+var healthBody = []byte("{\"status\":\"ok\"}\n")
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(healthBody)
+}
+
+// handle mounts h at pattern, wrapped in the HTTP metrics middleware when
+// metrics are enabled (a nil *HTTPMetrics passes the handler through).
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.httpm.Wrap(endpoint, h))
+}
+
+// queryObserver adapts per-kind live-index latencies onto obs histograms.
+// Installed via LiveIndex.SetObserver; must stay allocation-free.
+type queryObserver struct {
+	hists [3]*obs.Histogram // indexed by LiveQueryKind
+}
+
+func (o *queryObserver) ObserveQuery(kind lshensemble.LiveQueryKind, d time.Duration) {
+	if int(kind) < len(o.hists) {
+		o.hists[kind].Observe(d.Seconds())
+	}
+}
+
+// registerIndexMetrics exports the live index: query latency histograms fed
+// by the index's observer hook, and shape/planner counters mirrored from
+// Stats() at scrape time (the atomics behind Stats are the source of truth;
+// scraping just snapshots them, so the query path pays nothing extra).
+func (s *Server) registerIndexMetrics(prefix string) {
+	qo := &queryObserver{}
+	for _, k := range []lshensemble.LiveQueryKind{lshensemble.KindLiveQuery, lshensemble.KindLiveTopK, lshensemble.KindLiveBatch} {
+		qo.hists[k] = s.reg.Histogram(prefix+"_live_query_seconds",
+			"Live index query latency by entry point (batch = whole batch).",
+			nil, obs.L("op", k.String()))
+	}
+	s.idx.SetObserver(qo)
+
+	domains := s.reg.Gauge(prefix+"_live_domains", "Live domains indexed (tombstoned entries excluded).")
+	segments := s.reg.Gauge(prefix+"_live_segments", "Sealed segments in the current snapshot.")
+	buffered := s.reg.Gauge(prefix+"_live_buffered_entries", "Entries in the unsealed in-memory buffer.")
+	tombstones := s.reg.Gauge(prefix+"_live_tombstones", "Pending tombstones not yet compacted away.")
+	resident := s.reg.Gauge(prefix+"_live_segment_resident_bytes", "Estimated heap-resident bytes across sealed segments.")
+	fileBytes := s.reg.Gauge(prefix+"_live_segment_file_bytes", "On-disk bytes across spilled segment files.")
+	seals := s.reg.Counter(prefix+"_live_seals_total", "Buffer seals completed by the compactor.")
+	merges := s.reg.Counter(prefix+"_live_merges_total", "Segment merges completed by the compactor.")
+	spillErrs := s.reg.Counter(prefix+"_live_spill_errors_total", "Segment spills that failed (segments kept serving from heap).")
+	segProbed := s.reg.Counter(prefix+"_planner_segments_total", "Per-(query, segment) planner decisions.", obs.L("decision", "probed"))
+	segRange := s.reg.Counter(prefix+"_planner_segments_total", "Per-(query, segment) planner decisions.", obs.L("decision", "range_pruned"))
+	segBloom := s.reg.Counter(prefix+"_planner_segments_total", "Per-(query, segment) planner decisions.", obs.L("decision", "bloom_pruned"))
+	planHits := s.reg.Counter(prefix+"_planner_plan_cache_total", "Plan-cache lookups by outcome.", obs.L("outcome", "hit"))
+	planMisses := s.reg.Counter(prefix+"_planner_plan_cache_total", "Plan-cache lookups by outcome.", obs.L("outcome", "miss"))
+	resHits := s.reg.Counter(prefix+"_planner_result_cache_total", "Result-cache lookups by outcome.", obs.L("outcome", "hit"))
+	resMisses := s.reg.Counter(prefix+"_planner_result_cache_total", "Result-cache lookups by outcome.", obs.L("outcome", "miss"))
+	topkExits := s.reg.Counter(prefix+"_planner_topk_early_exits_total", "Top-k queries that stopped before visiting every segment.")
+	bufScans := s.reg.Counter(prefix+"_planner_buffer_total", "Unsealed-buffer decisions.", obs.L("decision", "scanned"))
+	bufBloom := s.reg.Counter(prefix+"_planner_buffer_total", "Unsealed-buffer decisions.", obs.L("decision", "bloom_pruned"))
+	s.reg.OnScrape(func() {
+		st := s.idx.Stats()
+		domains.Set(int64(st.Domains))
+		segments.Set(int64(len(st.Segments)))
+		buffered.Set(int64(st.Buffered))
+		tombstones.Set(int64(st.Tombstones))
+		var res, fb int64
+		for _, sd := range st.SegmentDetail {
+			res += sd.ResidentBytes
+			fb += sd.FileBytes
+		}
+		resident.Set(res)
+		fileBytes.Set(fb)
+		seals.Store(st.Seals)
+		merges.Store(st.Merges)
+		spillErrs.Store(st.SpillErrors)
+		segProbed.Store(st.Planner.SegmentsProbed)
+		segRange.Store(st.Planner.SegmentsRangePruned)
+		segBloom.Store(st.Planner.SegmentsBloomPruned)
+		planHits.Store(st.Planner.PlanHits)
+		planMisses.Store(st.Planner.PlanMisses)
+		resHits.Store(st.Planner.ResultHits)
+		resMisses.Store(st.Planner.ResultMisses)
+		topkExits.Store(st.Planner.TopKEarlyExits)
+		bufScans.Store(st.Planner.BufferScans)
+		bufBloom.Store(st.Planner.BufferBloomPruned)
+	})
+}
+
+// Registry returns the server's metric registry, nil when metrics are
+// disabled. The daemon mirrors it onto the debug listener.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -266,13 +410,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, err)
 		return
 	}
-	matches, err := s.idx.QueryContext(r.Context(), q.Sig, q.Size, q.Threshold)
+	ctx := r.Context()
+	var tr *lshensemble.LiveQueryTrace
+	var start time.Time
+	if s.slowQuery > 0 {
+		tr = new(lshensemble.LiveQueryTrace)
+		ctx = lshensemble.WithLiveQueryTrace(ctx, tr)
+		start = time.Now()
+	}
+	matches, err := s.idx.QueryContext(ctx, q.Sig, q.Size, q.Threshold)
 	if err != nil {
 		// The request context is canceled: the client is gone, nobody will
 		// read a body. Returning without writing lets the server tear the
 		// connection down.
 		return
 	}
+	s.noteSlow(r, "query", start, tr)
 	sort.Strings(matches)
 	WriteJSON(w, http.StatusOK, QueryResponse{Matches: matches, Count: len(matches)})
 }
@@ -299,9 +452,16 @@ func (s *Server) handleQueryTopK(w http.ResponseWriter, r *http.Request) {
 	if req.Size > 0 {
 		size = req.Size
 	}
+	var start time.Time
+	if s.slowQuery > 0 {
+		start = time.Now()
+	}
 	ranked, err := s.idx.QueryTopKContext(r.Context(), rec.Sig, size, k)
 	if err != nil {
 		return // canceled: client gone
+	}
+	if s.slowQuery > 0 {
+		s.noteSlow(r, "topk", start, nil)
 	}
 	resp := TopKResponse{Matches: make([]TopKMatch, len(ranked)), Count: len(ranked)}
 	for i, m := range ranked {
@@ -328,9 +488,16 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = q
 	}
+	var start time.Time
+	if s.slowQuery > 0 {
+		start = time.Now()
+	}
 	rows, err := s.idx.QueryBatchContext(r.Context(), queries, req.Workers)
 	if err != nil {
 		return // canceled: client gone, stop burning CPU on the batch
+	}
+	if s.slowQuery > 0 {
+		s.noteSlow(r, "batch", start, nil)
 	}
 	resp := BatchResponse{Rows: make([]QueryResponse, len(rows))}
 	for i, row := range rows {
@@ -338,6 +505,38 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Rows[i] = QueryResponse{Matches: row, Count: len(row)}
 	}
 	WriteJSON(w, http.StatusOK, resp)
+}
+
+// noteSlow logs one Warn line for a query that crossed the slow-query
+// threshold, keyed by trace_id. Single queries carry the planner's per-query
+// breakdown; topk/batch report latency only (their fan-out paths don't fill
+// a trace).
+func (s *Server) noteSlow(r *http.Request, op string, start time.Time, tr *lshensemble.LiveQueryTrace) {
+	if s.slowQuery <= 0 || start.IsZero() {
+		return
+	}
+	elapsed := time.Since(start)
+	if elapsed < s.slowQuery {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("trace_id", obs.TraceID(r.Context())),
+		slog.String("op", op),
+		slog.Duration("elapsed", elapsed),
+	}
+	if tr != nil {
+		attrs = append(attrs,
+			slog.Bool("result_cache_hit", tr.ResultCacheHit),
+			slog.Int("segments", tr.Segments),
+			slog.Int("segments_probed", tr.SegmentsProbed),
+			slog.Int("segments_range_pruned", tr.SegmentsRangePruned),
+			slog.Int("segments_bloom_pruned", tr.SegmentsBloomPruned),
+			slog.Int("buffered", tr.Buffered),
+			slog.Bool("buffer_scanned", tr.BufferScanned),
+			slog.Bool("buffer_bloom_skipped", tr.BufferBloomSkipped),
+		)
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

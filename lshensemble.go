@@ -1,6 +1,7 @@
 package lshensemble
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -123,6 +124,33 @@ type LiveOptions = live.Options
 
 // LiveStats is the point-in-time shape summary returned by LiveIndex.Stats.
 type LiveStats = live.Stats
+
+// LiveQueryKind names which query entry point a LiveObserver observation
+// came from: KindLiveQuery, KindLiveTopK or KindLiveBatch.
+type LiveQueryKind = live.QueryKind
+
+// Live query kinds reported to a LiveObserver.
+const (
+	KindLiveQuery = live.KindQuery
+	KindLiveTopK  = live.KindTopK
+	KindLiveBatch = live.KindBatch
+)
+
+// LiveObserver receives one callback per LiveIndex query (including cache
+// hits) with the end-to-end latency. Install with LiveIndex.SetObserver;
+// implementations must be cheap and concurrency-safe.
+type LiveObserver = live.Observer
+
+// LiveQueryTrace captures the planner's per-query decisions — segment
+// pruning breakdown, buffer handling, result-cache hit — when attached to
+// the query context with WithLiveQueryTrace.
+type LiveQueryTrace = live.QueryTrace
+
+// WithLiveQueryTrace returns a context that makes context-taking LiveIndex
+// queries fill tr with the planner's decisions for that one query.
+func WithLiveQueryTrace(ctx context.Context, tr *LiveQueryTrace) context.Context {
+	return live.WithQueryTrace(ctx, tr)
+}
 
 // BuildLive constructs a live (mutable, always-queryable) index over the
 // records; records may be empty to start from nothing. Unless
