@@ -10,6 +10,8 @@
 //	experiments -run tab4 -n 1000000                 (scale the performance corpus)
 //
 // Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 tab3 tab4
+// frontier (accuracy-vs-bytes sweep over sketch backends; prints one JSON
+// summary line per backend at t*=0.5, the shape committed as BENCH_10.json)
 package main
 
 import (
@@ -36,7 +38,7 @@ func main() {
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		ids = []string{"tab3", "fig1", "fig2", "fig3", "fig4", "fig5",
-			"fig6", "fig7", "fig8", "fig9", "fig10", "tab4"}
+			"fig6", "fig7", "fig8", "fig9", "fig10", "tab4", "frontier"}
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), acc, perf); err != nil {
@@ -147,6 +149,23 @@ func runOne(id string, acc expt.AccuracyConfig, perf expt.PerfConfig) error {
 		}
 		for _, r := range rows {
 			fmt.Println(" ", r)
+		}
+	case "frontier":
+		header("Accuracy-vs-bytes frontier: sketch backends at fixed partitioning")
+		rows, err := expt.RunSketchFrontier(expt.SketchConfig{AccuracyConfig: acc})
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		// One machine-readable line per backend at the t*=0.5 default — the
+		// shape tracked as BENCH_10.json in the repo root.
+		for _, r := range rows {
+			if r.Threshold == 0.5 {
+				fmt.Printf("{\"bench\":\"BENCH_10\",\"system\":%q,\"bytes_per_domain\":%.1f,\"threshold\":%.2f,\"precision\":%.3f,\"recall\":%.3f,\"f1\":%.3f}\n",
+					r.System, r.BytesPerDomain, r.Threshold, r.Precision, r.Recall, r.F1)
+			}
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)

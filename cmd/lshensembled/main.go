@@ -50,7 +50,7 @@
 // Usage:
 //
 //	lshensembled [-addr :7447] [-hashes 256] [-rmax 8] [-partitions 16]
-//	             [-seed 42] [-seal 4096] [-max-segments 8]
+//	             [-sketch minwise64] [-seed 42] [-seal 4096] [-max-segments 8]
 //	             [-snapshot /var/lib/lshensembled/index.snap]
 //	             [-data-dir /var/lib/lshensembled] [-mmap]
 //	             [-no-prune] [-no-plan-cache] [-result-cache 1024]
@@ -110,6 +110,7 @@ func run() error {
 	rMax := flag.Int("rmax", 8, "LSH forest tree depth")
 	partitions := flag.Int("partitions", 16, "cardinality partitions per sealed segment")
 	seed := flag.Uint64("seed", 42, "hash family seed (must match across restarts and clients)")
+	sketch := flag.String("sketch", "minwise64", "signature store backend: minwise64, minwise32, minwise16, minwise8 (b-bit stores trade estimate variance for 1/2–1/8th the signature bytes)")
 	seal := flag.Int("seal", 4096, "buffered adds that trigger a background seal")
 	maxSegments := flag.Int("max-segments", 8, "sealed segments above which the compactor merges")
 	snapshot := flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown and POST /save (defaults to <data-dir>/MANIFEST when -data-dir is set)")
@@ -136,6 +137,13 @@ func run() error {
 	if *mmap && *dataDir == "" {
 		return errors.New("-mmap requires -data-dir")
 	}
+	sketchBackend, err := lshensemble.ParseSketchBackend(*sketch)
+	if err != nil {
+		return err
+	}
+	if !sketchBackend.Indexable() {
+		return fmt.Errorf("-sketch %s is evaluation-only and cannot back the index (pick a minwise backend)", sketchBackend)
+	}
 	if *snapshot == "" && *dataDir != "" {
 		*snapshot = filepath.Join(*dataDir, "MANIFEST")
 	}
@@ -149,6 +157,7 @@ func run() error {
 			NumHash:       *hashes,
 			RMax:          *rMax,
 			NumPartitions: *partitions,
+			Sketch:        sketchBackend,
 		},
 		SealThreshold:    *seal,
 		MaxSegments:      *maxSegments,
@@ -210,7 +219,7 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("serving", "addr", *addr, "hashes", *hashes, "rmax", *rMax,
-			"partitions", *partitions, "seal", *seal)
+			"partitions", *partitions, "sketch", sketchBackend.String(), "seal", *seal)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -24,6 +24,12 @@
 //	        [-mix add=1,delete=1,query=6,topk=1,batch=1] [-preload 1000]
 //	        [-keys 5000] [-values 30] [-threshold 0.5] [-k 10]
 //	        [-batch-size 8] [-timeout 5s] [-seed 1] [-fail-on-error]
+//	        [-max-p99 250ms] [-max-error-rate 0.001]
+//
+// -max-p99 and -max-error-rate are regression gates for CI: after printing
+// the report, the process exits 1 if any op's p99 exceeds -max-p99 or the
+// overall error rate exceeds -max-error-rate. The report always prints
+// first, so a tripped gate still leaves the numbers for the build log.
 //
 // The synthetic corpus is deterministic in -seed: domain i draws -values
 // tokens from a sliding window over a shared token universe, so nearby
@@ -119,6 +125,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "workload RNG seed (corpus and op sequence are deterministic in it)")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any op errored (partial results don't count)")
+	maxP99 := flag.Duration("max-p99", 0, "exit 1 if any op's p99 latency exceeds this (0 disables; the nightly regression gate)")
+	maxErrorRate := flag.Float64("max-error-rate", -1, "exit 1 if the overall error rate exceeds this fraction (negative disables)")
 	flag.Parse()
 
 	if *concurrency <= 0 || *values <= 0 || *keys <= 0 || *batchSize <= 0 {
@@ -209,6 +217,20 @@ func run() error {
 	}
 	if rep.TotalOps == 0 {
 		return errors.New("no operations completed (is the target up?)")
+	}
+	// Regression gates: latency and error-rate ceilings for CI. Checked after
+	// the report prints, so a failed gate still leaves the numbers on stdout.
+	if *maxP99 > 0 {
+		ceiling := maxP99.Seconds() * 1e3
+		for name, or := range rep.Ops {
+			if or.P99Ms > ceiling {
+				return fmt.Errorf("p99 gate: %s p99 %.1fms exceeds -max-p99 %v", name, or.P99Ms, *maxP99)
+			}
+		}
+	}
+	if *maxErrorRate >= 0 && rep.ErrorRate > *maxErrorRate {
+		return fmt.Errorf("error-rate gate: %.4f exceeds -max-error-rate %.4f (%d of %d ops)",
+			rep.ErrorRate, *maxErrorRate, rep.Errors, rep.TotalOps)
 	}
 	return nil
 }

@@ -276,6 +276,47 @@
 // latency, throughput, and error/partial rates — see the command doc for
 // flags.
 //
+// # Sketch backends
+//
+// The signature representation is pluggable (core.SketchBackend, the
+// daemon's -sketch flag, BuildOptions.Sketch). All backends hash with the
+// same 64-bit minwise hasher; the backend decides how many bits of each
+// minimum are stored and how containment is estimated:
+//
+//   - Minwise64 (default): full 64-bit minima. Wire-compatible with every
+//     artifact this package has ever written; v1–v3 snapshots and segment
+//     files load as Minwise64 automatically.
+//   - Minwise32 / Minwise16 / Minwise8: b-bit minwise. Stores only the low
+//     b bits of each minimum and corrects the match estimate for chance
+//     collisions (Li & König). Truncation is a superset property — any
+//     pair the full signature matches, the truncated one matches too — so
+//     recall never drops; precision pays the 2^-b collision floor.
+//   - KMV: the k smallest distinct hash values, giving cardinality-aware
+//     containment estimates. Evaluation-only — it has no fixed-slot
+//     structure to band, so it cannot back the LSH forest index; use it
+//     for re-ranking or offline accuracy studies (KMVSketch, minhash.KMV).
+//
+// Measured accuracy-vs-bytes frontier (Fig. 4 corpus scale, t* = 0.5,
+// m = 256 hash functions, BENCH_10.json):
+//
+//	backend    bytes/domain  precision  recall
+//	minwise64      2048.0      0.658     0.912
+//	minwise32      1024.0      0.658     0.912
+//	minwise16       512.0      0.596     0.912
+//	kmv (k=128)     286.9      0.937     0.979   (evaluation-only)
+//	minwise8        256.0      0.034     0.912
+//
+// Rules of thumb: minwise32 is a free halving (at m = 256 the top 32 bits
+// essentially never disambiguate a minimum); minwise16 halves again for a
+// few points of precision and is the sweet spot when memory or segment
+// I/O dominates; minwise8 only makes sense when a downstream verifier
+// re-checks candidates, because the 2^-8 chance-collision floor floods
+// precision at corpus scale; KMV is the sharpest estimate per byte where
+// brute-force evaluation is acceptable. The backend is recorded in every
+// wire format (index, forest, snapshot manifest v4, segment files) and in
+// /stats as "sketch" and "signature_bytes"; a daemon booted with a
+// mismatched -sketch refuses the snapshot rather than misinterpret it.
+//
 // See ROADMAP.md for representative before/after benchmark numbers.
 //
 // See examples/ for runnable programs, DESIGN.md for the system inventory,

@@ -54,6 +54,11 @@ type Options struct {
 	// Partitioner chooses the partitioning strategy. Default
 	// partition.EquiDepth (optimal for power-law distributions).
 	Partitioner PartitionerFunc
+	// Sketch selects the stored signature representation (see SketchBackend).
+	// The zero value is Minwise64, the paper's full-width configuration; the
+	// b-bit backends trade estimation accuracy for a 8x/4x/2x smaller store.
+	// Must be an indexable backend (KMV is evaluation-only).
+	Sketch SketchBackend
 	// Sequential is retained for configuration compatibility. The query
 	// path now probes partitions sequentially with pooled, allocation-free
 	// scratch in every mode (a goroutine per partition per query cost more
@@ -96,6 +101,9 @@ func (o Options) validate() error {
 	if o.NumPartitions < 1 {
 		return fmt.Errorf("core: NumPartitions %d < 1", o.NumPartitions)
 	}
+	if !o.Sketch.Indexable() {
+		return fmt.Errorf("core: sketch backend %s cannot back an index", o.Sketch)
+	}
 	return nil
 }
 
@@ -105,12 +113,22 @@ type part struct {
 	forest       *lshforest.Forest
 }
 
+// sigLoc locates an id's stored signature: the partition holding it and the
+// insertion slot inside that partition's forest. Eight bytes per id replace
+// the 24-byte slice headers (plus retained caller slices) the pre-backend
+// design kept per id, and work for every store width — a narrow store has no
+// []uint64 to view.
+type sigLoc struct {
+	part uint32
+	slot uint32
+}
+
 // Index is a built LSH Ensemble. It is safe for concurrent queries.
 type Index struct {
 	opts  Options
 	keys  []string
 	sizes []int
-	sigs  []minhash.Signature // per id; views into the forests' flat stores after Reindex/Decode
+	locs  []sigLoc // per id: which partition forest and slot stores its signature
 	parts []part
 	opt   *tune.Optimizer
 	dirty bool
@@ -126,11 +144,16 @@ type Index struct {
 }
 
 // queryScratch is the per-query working memory recycled through
-// Index.scratch: a generation-stamped visited set for candidate dedup and a
-// reusable result buffer.
+// Index.scratch: a generation-stamped visited set for candidate dedup, a
+// reusable result buffer, and the probe callback. The callback is allocated
+// once per scratch (not per probe): it reaches the forests through the
+// width-erased store interface, which defeats escape analysis, so a closure
+// built inside probePartition would heap-allocate on every partition probe.
 type queryScratch struct {
 	seen dedup.Set
 	ids  []uint32
+	dst  []uint32          // collector target while a probe is running
+	emit func(uint32) bool // persistent probe callback appending into dst
 }
 
 // acquireScratch fetches (or creates) a scratch sized for the current
@@ -138,7 +161,14 @@ type queryScratch struct {
 func (x *Index) acquireScratch() *queryScratch {
 	s, _ := x.scratch.Get().(*queryScratch)
 	if s == nil {
-		s = &queryScratch{}
+		sc := &queryScratch{}
+		sc.emit = func(id uint32) bool {
+			if sc.seen.TryMark(id) {
+				sc.dst = append(sc.dst, id)
+			}
+			return true
+		}
+		s = sc
 	}
 	s.seen.Reset(len(x.keys))
 	return s
@@ -188,7 +218,7 @@ func Build(records []Record, opts Options) (*Index, error) {
 		opts:  opts,
 		keys:  make([]string, 0, len(records)),
 		sizes: make([]int, 0, len(records)),
-		sigs:  make([]minhash.Signature, 0, len(records)),
+		locs:  make([]sigLoc, 0, len(records)),
 		parts: make([]part, len(parts)),
 		opt:   tune.NewOptimizer(opts.NumHash/opts.RMax, opts.RMax),
 	}
@@ -196,7 +226,7 @@ func Build(records []Record, opts Options) (*Index, error) {
 		idx.parts[i] = part{
 			lower:  p.Lower,
 			upper:  p.Upper,
-			forest: lshforest.New(opts.NumHash, opts.RMax),
+			forest: lshforest.NewWidth(opts.NumHash, opts.RMax, opts.Sketch.WidthBytes()),
 		}
 	}
 	// Route every record first (serial — a binary search per record, and
@@ -210,8 +240,8 @@ func Build(records []Record, opts Options) (*Index, error) {
 		id := uint32(len(idx.keys))
 		idx.keys = append(idx.keys, r.Key)
 		idx.sizes = append(idx.sizes, r.Size)
-		idx.sigs = append(idx.sigs, r.Sig)
 		pi := idx.routeIdx(r.Size)
+		idx.locs = append(idx.locs, sigLoc{part: uint32(pi), slot: uint32(len(members[pi]))})
 		members[pi] = append(members[pi], int32(id))
 	}
 	idx.dirty = true
@@ -237,8 +267,8 @@ func (x *Index) add(r Record) {
 	id := uint32(len(x.keys))
 	x.keys = append(x.keys, r.Key)
 	x.sizes = append(x.sizes, r.Size)
-	x.sigs = append(x.sigs, r.Sig)
 	pi := x.routeIdx(r.Size)
+	x.locs = append(x.locs, sigLoc{part: uint32(pi), slot: uint32(x.parts[pi].forest.Len())})
 	x.parts[pi].forest.Add(id, r.Sig)
 	x.dirty = true
 }
@@ -314,15 +344,6 @@ func (x *Index) Reindex() {
 	for _, f := range pending {
 		f.FinishTrees()
 	}
-	// Re-point the id → signature table at the forests' flat stores so the
-	// caller-provided signature slices can be collected; otherwise every
-	// signature would stay resident twice (the caller's slice pinned here
-	// and the forest's contiguous copy).
-	for i := range x.parts {
-		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
-			x.sigs[id] = sig
-		})
-	}
 	x.dirty = false
 }
 
@@ -342,11 +363,49 @@ func (x *Index) Key(id uint32) string { return x.keys[id] }
 // Size returns the exact cardinality of the domain with the given id.
 func (x *Index) Size(id uint32) int { return x.sizes[id] }
 
-// Signature returns the stored MinHash signature of the domain with the
-// given id, as a view into the index's backing store. Callers must not
-// mutate it. Layered indexes (internal/live) use it to carry records into a
-// merged segment without re-sketching.
-func (x *Index) Signature(id uint32) minhash.Signature { return x.sigs[id] }
+// Sketch returns the backend the index stores signatures with.
+func (x *Index) Sketch() SketchBackend { return x.opts.Sketch }
+
+// Signature returns the stored signature of the domain with the given id as
+// a freshly allocated full-width slice: the original hash values under
+// Minwise64, the stored truncations (zero-extended) under a b-bit backend —
+// truncation is idempotent, so re-indexing the returned slice under the same
+// backend is lossless. Layered indexes (internal/live) use it to carry
+// records into a merged segment without re-sketching.
+func (x *Index) Signature(id uint32) minhash.Signature {
+	l := x.locs[id]
+	return x.parts[l.part].forest.AppendSigWidened(make([]uint64, 0, x.opts.NumHash), int(l.slot))
+}
+
+// SigMatches returns the number of signature slots where the stored domain
+// agrees with the query signature under the backend's truncation — the
+// allocation-free agreement count EstContainment converts into a score. sig
+// must be at least NumHash long (extra slots are ignored).
+func (x *Index) SigMatches(id uint32, sig minhash.Signature) int {
+	l := x.locs[id]
+	return x.parts[l.part].forest.MatchCount(int(l.slot), sig)
+}
+
+// EstContainment estimates the containment of the query domain (signature
+// sig, cardinality querySize) in the stored domain id, through the backend's
+// bias-corrected Jaccard estimate and the paper's Eq. 6 conversion. Under
+// Minwise64 the result is float-identical to
+// sig.Containment(storedSig, querySize, Size(id)).
+func (x *Index) EstContainment(id uint32, sig minhash.Signature, querySize int) float64 {
+	eq := x.SigMatches(id, sig)
+	return x.opts.Sketch.ContainmentFromMatch(eq, x.opts.NumHash, float64(querySize), float64(x.sizes[id]))
+}
+
+// SignatureBytes returns the total byte size of the stored signature data —
+// Len() × NumHash × the backend's per-slot width. This is the quantity the
+// compact sketch backends shrink, reported by /stats and the experiments.
+func (x *Index) SignatureBytes() int {
+	n := 0
+	for i := range x.parts {
+		n += x.parts[i].forest.StoreLenBytes()
+	}
+	return n
+}
 
 // PartitionBounds returns the (lower, upper, count) of each partition, for
 // inspection and experiments.
@@ -430,12 +489,10 @@ func (x *Index) partitionParams(pi int, querySize int, tStar float64) (tune.Para
 // array only collapses the multiple trees of one forest reporting the same
 // id.
 func (x *Index) probePartition(dst []uint32, s *queryScratch, pi int, sig minhash.Signature, params tune.Params) []uint32 {
-	x.parts[pi].forest.Query(sig, params.B, params.R, func(id uint32) bool {
-		if s.seen.TryMark(id) {
-			dst = append(dst, id)
-		}
-		return true
-	})
+	s.dst = dst
+	x.parts[pi].forest.Query(sig, params.B, params.R, s.emit)
+	dst = s.dst
+	s.dst = nil
 	return dst
 }
 
@@ -554,15 +611,30 @@ func (x *Index) Query(sig minhash.Signature, querySize int, tStar float64) ([]st
 
 // --- serialization ---
 
-var indexMagic = [4]byte{'L', 'S', 'H', 'E'}
+// Index encodings:
+//
+//	"LSHE" (Minwise64, unchanged since PR 1 — golden-bytes compatible):
+//	  magic | numHash | rMax | numPartitions | nKeys | keys | parts
+//	"LSE2" (any backend): magic | backendTag u32 | same layout
+var (
+	indexMagic   = [4]byte{'L', 'S', 'H', 'E'}
+	indexMagicV2 = [4]byte{'L', 'S', 'E', '2'}
+)
 
 // ErrCorrupt reports a malformed index encoding.
 var ErrCorrupt = errors.New("core: corrupt index encoding")
 
 // AppendBinary appends the index's binary encoding to buf. The tuning cache
-// is not persisted (it is rebuilt lazily at query time).
+// is not persisted (it is rebuilt lazily at query time). A Minwise64 index
+// emits the legacy "LSHE" encoding byte-identically; other backends emit
+// "LSE2" with an explicit backend tag.
 func (x *Index) AppendBinary(buf []byte) []byte {
-	buf = append(buf, indexMagic[:]...)
+	if x.opts.Sketch == Minwise64 {
+		buf = append(buf, indexMagic[:]...)
+	} else {
+		buf = append(buf, indexMagicV2[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, x.opts.Sketch.Tag())
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumHash))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.RMax))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumPartitions))
@@ -584,15 +656,35 @@ func (x *Index) AppendBinary(buf []byte) []byte {
 // Decode reconstructs an index from buf (produced by AppendBinary) and
 // returns any trailing bytes.
 func Decode(buf []byte) (*Index, []byte, error) {
-	if len(buf) < 20 || [4]byte(buf[:4]) != indexMagic {
+	if len(buf) < 4 {
 		return nil, buf, ErrCorrupt
 	}
-	numHash := int(binary.LittleEndian.Uint32(buf[4:]))
-	rMax := int(binary.LittleEndian.Uint32(buf[8:]))
-	nParts := int(binary.LittleEndian.Uint32(buf[12:]))
-	nKeys := int(binary.LittleEndian.Uint32(buf[16:]))
-	buf = buf[20:]
-	opts := Options{NumHash: numHash, RMax: rMax, NumPartitions: nParts}.withDefaults()
+	sketch := Minwise64
+	switch [4]byte(buf[:4]) {
+	case indexMagic:
+		buf = buf[4:]
+	case indexMagicV2:
+		if len(buf) < 8 {
+			return nil, buf, ErrCorrupt
+		}
+		sb, ok := SketchBackendFromTag(binary.LittleEndian.Uint32(buf[4:]))
+		if !ok || !sb.Indexable() {
+			return nil, buf, ErrCorrupt
+		}
+		sketch = sb
+		buf = buf[8:]
+	default:
+		return nil, buf, ErrCorrupt
+	}
+	if len(buf) < 16 {
+		return nil, buf, ErrCorrupt
+	}
+	numHash := int(binary.LittleEndian.Uint32(buf))
+	rMax := int(binary.LittleEndian.Uint32(buf[4:]))
+	nParts := int(binary.LittleEndian.Uint32(buf[8:]))
+	nKeys := int(binary.LittleEndian.Uint32(buf[12:]))
+	buf = buf[16:]
+	opts := Options{NumHash: numHash, RMax: rMax, NumPartitions: nParts, Sketch: sketch}.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, buf, ErrCorrupt
 	}
@@ -611,7 +703,14 @@ func Decode(buf []byte) (*Index, []byte, error) {
 		}
 		x.keys = append(x.keys, string(buf[:kl]))
 		buf = buf[kl:]
-		x.sizes = append(x.sizes, int(binary.LittleEndian.Uint64(buf)))
+		// Build rejects non-positive sizes, so no encoder emits them; a
+		// decoded one would poison downstream consumers (the live planner's
+		// metadata requires minSize ≥ 1).
+		sz := int(binary.LittleEndian.Uint64(buf))
+		if sz <= 0 {
+			return nil, buf, ErrCorrupt
+		}
+		x.sizes = append(x.sizes, sz)
 		buf = buf[8:]
 	}
 	if len(buf) < 4 {
@@ -637,31 +736,65 @@ func Decode(buf []byte) (*Index, []byte, error) {
 			return nil, rest, fmt.Errorf("core: partition forest shape (%d, %d) != index header (%d, %d): %w",
 				f.NumHash(), f.RMax(), opts.NumHash, opts.RMax, ErrCorrupt)
 		}
+		if f.Width() != opts.Sketch.WidthBytes() {
+			return nil, rest, fmt.Errorf("core: partition forest width %d != sketch backend %s width %d: %w",
+				f.Width(), opts.Sketch, opts.Sketch.WidthBytes(), ErrCorrupt)
+		}
 		buf = rest
 		x.parts = append(x.parts, part{lower: lower, upper: upper, forest: f})
 	}
-	// Rebuild the id → signature table from the forests (each id lives in
-	// exactly one partition). Ids must stay within [0, len(keys)): the query
-	// path indexes its visited array by id, so out-of-range ids in a
-	// decoded forest are corruption, not something to skip silently.
-	x.sigs = make([]minhash.Signature, len(x.keys))
-	badID := false
+	// Rebuild the id → (partition, slot) table from the forests (each id
+	// lives in exactly one partition). Ids must stay within [0, len(keys)):
+	// the query path indexes its visited array by id, so out-of-range ids in
+	// a decoded forest are corruption, not something to skip silently.
+	if err := x.rebuildLocs(); err != nil {
+		return nil, buf, err
+	}
+	// Build guarantees ordered, non-overlapping partitions that cover every
+	// record's size (partition.Validate); the query planner and downstream
+	// consumers (the live planner's maxBound metadata) rely on it, so a
+	// decoded index must satisfy the same invariant.
 	for i := range x.parts {
-		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
-			if int(id) < len(x.sigs) {
-				x.sigs[id] = sig
-			} else {
-				badID = true
-			}
-		})
+		p := &x.parts[i]
+		if p.lower > p.upper || (i > 0 && x.parts[i-1].upper >= p.lower) {
+			return nil, buf, fmt.Errorf("core: partition %d bounds [%d, %d] out of order: %w",
+				i, p.lower, p.upper, ErrCorrupt)
+		}
 	}
-	if badID {
-		return nil, buf, fmt.Errorf("core: decoded forest contains out-of-range id: %w", ErrCorrupt)
-	}
-	for i, s := range x.sigs {
-		if s == nil {
-			return nil, buf, fmt.Errorf("core: decoded index missing signature for id %d: %w", i, ErrCorrupt)
+	for id, loc := range x.locs {
+		p := &x.parts[loc.part]
+		if s := x.sizes[id]; s < p.lower || s > p.upper {
+			return nil, buf, fmt.Errorf("core: record %d size %d outside partition bounds [%d, %d]: %w",
+				id, s, p.lower, p.upper, ErrCorrupt)
 		}
 	}
 	return x, buf, nil
+}
+
+// rebuildLocs reconstructs the id → (partition, slot) table from the
+// partition forests' insertion-order id lists, rejecting out-of-range,
+// repeated or missing ids.
+func (x *Index) rebuildLocs() error {
+	const noPart = ^uint32(0)
+	x.locs = make([]sigLoc, len(x.keys))
+	for i := range x.locs {
+		x.locs[i].part = noPart
+	}
+	for pi := range x.parts {
+		for slot, id := range x.parts[pi].forest.IDs() {
+			if int(id) >= len(x.locs) {
+				return fmt.Errorf("core: forest contains out-of-range id %d: %w", id, ErrCorrupt)
+			}
+			if x.locs[id].part != noPart {
+				return fmt.Errorf("core: forest entry id %d repeats: %w", id, ErrCorrupt)
+			}
+			x.locs[id] = sigLoc{part: uint32(pi), slot: uint32(slot)}
+		}
+	}
+	for i := range x.locs {
+		if x.locs[i].part == noPart {
+			return fmt.Errorf("core: index missing signature for id %d: %w", i, ErrCorrupt)
+		}
+	}
+	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"lshensemble/internal/lshforest"
-	"lshensemble/internal/minhash"
 	"lshensemble/internal/tune"
 )
 
@@ -74,6 +73,10 @@ func FromParts(opts Options, keys []string, sizes []int, views []PartView) (*Ind
 			return nil, fmt.Errorf("core: partition %d forest shape (%d,%d) != options (%d,%d)",
 				i, f.NumHash(), f.RMax(), opts.NumHash, opts.RMax)
 		}
+		if f.Width() != opts.Sketch.WidthBytes() {
+			return nil, fmt.Errorf("core: partition %d forest width %d != sketch backend %s width %d",
+				i, f.Width(), opts.Sketch, opts.Sketch.WidthBytes())
+		}
 		if !f.Indexed() {
 			return nil, fmt.Errorf("core: partition %d forest is not indexed", i)
 		}
@@ -83,21 +86,8 @@ func FromParts(opts Options, keys []string, sizes []int, views []PartView) (*Ind
 	if total != len(keys) {
 		return nil, fmt.Errorf("core: partitions hold %d entries for %d keys", total, len(keys))
 	}
-	x.sigs = make([]minhash.Signature, len(keys))
-	ok := true
-	for i := range x.parts {
-		x.parts[i].forest.Each(func(id uint32, sig []uint64) {
-			if int(id) < len(x.sigs) && x.sigs[id] == nil {
-				x.sigs[id] = sig
-			} else {
-				ok = false
-			}
-		})
+	if err := x.rebuildLocs(); err != nil {
+		return nil, fmt.Errorf("core: partition entry ids exceed the key space, repeat or are missing: %w", err)
 	}
-	if !ok {
-		return nil, fmt.Errorf("core: partition entry ids exceed the key space or repeat")
-	}
-	// total == len(keys) and every id was assigned at most once, so every id
-	// was assigned exactly once.
 	return x, nil
 }

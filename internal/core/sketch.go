@@ -1,0 +1,152 @@
+package core
+
+import "fmt"
+
+// SketchBackend selects the signature representation the ensemble stores and
+// scores with. All backends consume the same full-width minhash.Signature at
+// the API boundary (sketching is unchanged); the backend decides how many
+// bits of each slot survive into the index's contiguous store and how slot
+// agreement counts convert back into Jaccard/containment estimates.
+//
+//   - Minwise64 stores the full 61-bit hash values in 8 bytes per slot — the
+//     paper's configuration and the default. Bit-identical to the
+//     pre-backend behavior, including on the wire.
+//   - Minwise8/16/32 are b-bit minwise backends (Li & König, WWW 2010): each
+//     slot keeps only its low b ∈ {8, 16, 32} bits, shrinking the store to
+//     b/64 of the full size. Truncated slots collide by chance with
+//     probability 2⁻ᵇ even across unrelated domains, so the Jaccard
+//     estimator unbiases the raw agreement fraction:
+//     Ĵ = (p̂ − 2⁻ᵇ) / (1 − 2⁻ᵇ). LSH probing is unchanged (band collision
+//     probability only rises, so partition probes lose no true positives
+//     relative to Minwise64 — they admit more false candidates instead).
+//   - KMV is a k-minimum-values sketch (Beyer et al., SIGMOD 2007): the k
+//     smallest distinct base hashes, giving cardinality-aware containment
+//     estimates. It supports no banding, so it is not indexable — it serves
+//     the exact/asymmetric evaluation path (internal/expt) as a compact
+//     brute-force scorer, never an Index store.
+type SketchBackend uint8
+
+const (
+	// Minwise64 is the default full-width minwise backend.
+	Minwise64 SketchBackend = iota
+	// Minwise8 stores the low 8 bits of each minhash slot.
+	Minwise8
+	// Minwise16 stores the low 16 bits of each minhash slot.
+	Minwise16
+	// Minwise32 stores the low 32 bits of each minhash slot.
+	Minwise32
+	// KMV is the k-minimum-values backend (evaluation path only).
+	KMV
+
+	numSketchBackends
+)
+
+// sketchNames is indexed by SketchBackend; these are the -sketch flag values
+// and the names reported by /stats and the experiment tables.
+var sketchNames = [numSketchBackends]string{"minwise64", "minwise8", "minwise16", "minwise32", "kmv"}
+
+// Valid reports whether sb is a defined backend.
+func (sb SketchBackend) Valid() bool { return sb < numSketchBackends }
+
+// Indexable reports whether the backend can serve as an Index store. KMV
+// sketches have no per-band structure, so only the minwise family qualifies.
+func (sb SketchBackend) Indexable() bool { return sb.Valid() && sb != KMV }
+
+// WidthBytes returns the stored bytes per signature slot: the lshforest
+// store element width the backend builds on.
+func (sb SketchBackend) WidthBytes() int {
+	switch sb {
+	case Minwise8:
+		return 1
+	case Minwise16:
+		return 2
+	case Minwise32:
+		return 4
+	default: // Minwise64, KMV (KMV entries are full 64-bit hashes)
+		return 8
+	}
+}
+
+// Bits returns the stored bits per slot, b in the b-bit minwise papers.
+func (sb SketchBackend) Bits() int { return 8 * sb.WidthBytes() }
+
+// Mask returns the bitmask a stored slot value is truncated with. Query-side
+// comparisons against a truncated store must mask their values identically.
+func (sb SketchBackend) Mask() uint64 {
+	if w := sb.WidthBytes(); w < 8 {
+		return (uint64(1) << (8 * w)) - 1
+	}
+	return ^uint64(0)
+}
+
+// String returns the canonical backend name (also the -sketch flag value).
+func (sb SketchBackend) String() string {
+	if !sb.Valid() {
+		return fmt.Sprintf("sketch(%d)", uint8(sb))
+	}
+	return sketchNames[sb]
+}
+
+// ParseSketchBackend resolves a backend name as accepted by the -sketch
+// flag: minwise64, minwise8, minwise16, minwise32 or kmv.
+func ParseSketchBackend(s string) (SketchBackend, error) {
+	for i, n := range sketchNames {
+		if s == n {
+			return SketchBackend(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown sketch backend %q (want one of minwise64, minwise8, minwise16, minwise32, kmv)", s)
+}
+
+// SketchBackendFromTag maps a wire-format backend tag (snapshot manifest v4,
+// LSEG v2, LSE2 index encodings) back to a backend. The tag is the enum
+// value itself; unknown tags are rejected so newer formats fail loudly on
+// older binaries.
+func SketchBackendFromTag(tag uint32) (SketchBackend, bool) {
+	sb := SketchBackend(tag)
+	return sb, uint32(uint8(tag)) == tag && sb.Valid()
+}
+
+// Tag returns the backend's wire-format tag.
+func (sb SketchBackend) Tag() uint32 { return uint32(sb) }
+
+// JaccardFromMatch converts an agreement count over m compared slots into a
+// Jaccard estimate. For Minwise64 the agreement fraction is the estimate
+// (Broder's identity; float-identical to minhash.Signature.Jaccard). For a
+// b-bit backend a disagreeing slot pair still collides in its surviving b
+// bits with probability 2⁻ᵇ, so the expected agreement fraction is
+// p = J + (1−J)·2⁻ᵇ; inverting gives Ĵ = (p̂ − 2⁻ᵇ)/(1 − 2⁻ᵇ), clamped to
+// [0, 1] (small samples can put p̂ below the chance floor).
+func (sb SketchBackend) JaccardFromMatch(eq, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	p := float64(eq) / float64(m)
+	if sb == Minwise64 || sb == KMV {
+		return p
+	}
+	r := 1 / float64(uint64(1)<<sb.Bits())
+	j := (p - r) / (1 - r)
+	if j < 0 {
+		return 0
+	}
+	return j
+}
+
+// ContainmentFromMatch converts an agreement count over m compared slots
+// into a containment estimate t(Q, X) = |Q∩X|/|Q| for a query of cardinality
+// q against a stored domain of cardinality x, through the backend's Jaccard
+// estimate and the inclusion-exclusion identity (paper Eq. 6). For Minwise64
+// the result is float-identical to minhash.Signature.Containment on the same
+// agreement count.
+func (sb SketchBackend) ContainmentFromMatch(eq, m int, q, x float64) float64 {
+	j := sb.JaccardFromMatch(eq, m)
+	if q <= 0 {
+		return 0
+	}
+	t := (x/q + 1) * j / (1 + j)
+	if t > 1 {
+		t = 1
+	}
+	return t
+}

@@ -51,7 +51,7 @@ func (x *Index) QueryTopK(sig minhash.Signature, querySize, k int) ([]TopKResult
 	ids := x.topKIDs(s.ids[:0], s, sig, querySize, k)
 	results := make([]TopKResult, 0, len(ids))
 	for _, id := range ids {
-		est := sig.Containment(x.sigOf(id), float64(querySize), float64(x.sizes[id]))
+		est := x.EstContainment(id, sig, querySize)
 		results = append(results, TopKResult{Key: x.keys[id], EstContainment: est})
 	}
 	s.ids = ids
@@ -102,9 +102,4 @@ func (x *Index) QueryTopKIDs(dst []uint32, sig minhash.Signature, querySize, k i
 	dst = x.topKIDs(dst, s, sig, querySize, k)
 	x.releaseScratch(s)
 	return dst, nil
-}
-
-// sigOf returns the stored signature of an indexed domain.
-func (x *Index) sigOf(id uint32) minhash.Signature {
-	return x.sigs[id]
 }

@@ -43,6 +43,10 @@ type AccuracyConfig struct {
 	Partitions []int     // ensemble variants; default {8, 16, 32}
 	Thresholds []float64 // default DefaultThresholds()
 	Seed       uint64
+	// Sketches adds b-bit ensemble variants (at the largest partition
+	// count) beyond the default full-width store — "LSH Ensemble (32,
+	// minwise16)" style systems. Empty keeps the paper's system set.
+	Sketches []core.SketchBackend
 }
 
 func (c AccuracyConfig) withDefaults() AccuracyConfig {
@@ -125,6 +129,21 @@ func buildSystems(recs []core.Record, cfg AccuracyConfig) ([]system, error) {
 			return nil, fmt.Errorf("ensemble(%d): %w", n, err)
 		}
 		systems = append(systems, system{fmt.Sprintf("LSH Ensemble (%d)", n), ensembleSystem{e}})
+	}
+	// b-bit variants ride on the largest partition count: the sweep varies
+	// signature bytes against a fixed (best) partitioning.
+	parts := cfg.Partitions[len(cfg.Partitions)-1]
+	for _, sb := range cfg.Sketches {
+		if sb == core.Minwise64 {
+			continue // already present as the plain ensemble systems
+		}
+		e, err := core.Build(recs, core.Options{
+			NumHash: cfg.NumHash, RMax: cfg.RMax, NumPartitions: parts, Sketch: sb,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ensemble(%d, %s): %w", parts, sb, err)
+		}
+		systems = append(systems, system{fmt.Sprintf("LSH Ensemble (%d, %s)", parts, sb), ensembleSystem{e}})
 	}
 	return systems, nil
 }

@@ -22,6 +22,9 @@ type PerfConfig struct {
 	Partitions []int // default {8, 16, 32}
 	Shards     int   // Table 4 cluster width; default 5 (paper: 5 nodes)
 	Seed       uint64
+	// Sketch selects the signature store backend (zero = full-width
+	// minwise64); b-bit backends shrink the store and its scan traffic.
+	Sketch core.SketchBackend
 }
 
 func (c PerfConfig) withDefaults() PerfConfig {
@@ -79,7 +82,7 @@ func RunFig9(cfg PerfConfig) ([]PerfRow, error) {
 			start := time.Now()
 			recs := datagen.Records(corpus, minhash.NewHasher(cfg.NumHash, cfg.Seed^0x5eed))
 			idx, err := core.Build(recs, core.Options{
-				NumHash: cfg.NumHash, RMax: cfg.RMax, NumPartitions: parts,
+				NumHash: cfg.NumHash, RMax: cfg.RMax, NumPartitions: parts, Sketch: cfg.Sketch,
 			})
 			if err != nil {
 				return nil, err
@@ -175,7 +178,7 @@ func RunTab4(cfg PerfConfig) ([]Tab4Row, error) {
 				hi = len(recs)
 			}
 			idx, err := core.Build(recs[lo:hi], core.Options{
-				NumHash: cfg.NumHash, RMax: cfg.RMax, NumPartitions: parts,
+				NumHash: cfg.NumHash, RMax: cfg.RMax, NumPartitions: parts, Sketch: cfg.Sketch,
 			})
 			if err != nil {
 				return nil, err

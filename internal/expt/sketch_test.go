@@ -1,0 +1,129 @@
+package expt
+
+import (
+	"testing"
+
+	"lshensemble/internal/core"
+)
+
+// frontierCfg is the deterministic reduced-scale Fig. 4 workload behind the
+// accuracy-regression floors: small enough for tier-1 CI, large enough that
+// the backends separate cleanly on the frontier.
+func frontierCfg() SketchConfig {
+	return SketchConfig{
+		AccuracyConfig: AccuracyConfig{
+			NumDomains: 800,
+			NumQueries: 60,
+			NumHash:    256,
+			RMax:       8,
+			Thresholds: []float64{0.5},
+			Seed:       1,
+		},
+		NumPartitions: 16,
+	}
+}
+
+// TestSketchFrontierAccuracyFloors is the accuracy-regression gate: each
+// backend's Fig. 4 precision/recall at t*=0.5 must clear its floor. The
+// floors encode the frontier's shape — wide minwise stores keep the
+// full-width operating point, minwise8 trades precision (never recall,
+// by the superset property) for 1/8th the bytes, and KMV's
+// cardinality-aware scoring is the sharpest per byte. Any estimator or
+// masking regression shows up here as a floor breach.
+func TestSketchFrontierAccuracyFloors(t *testing.T) {
+	rows, err := RunSketchFrontier(frontierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference run (seed 1): minwise64/32/16 P=0.797 R=0.918,
+	// minwise8 P=0.175 R=0.918, kmv P=0.994 R=0.961. Floors sit well below
+	// to absorb platform float jitter but far above any broken estimator.
+	floors := map[string]struct{ p, r float64 }{
+		"minwise64": {0.70, 0.85},
+		"minwise32": {0.70, 0.85},
+		"minwise16": {0.70, 0.85},
+		"minwise8":  {0.10, 0.85},
+		"kmv":       {0.90, 0.90},
+	}
+	seen := map[string]FrontierRow{}
+	for _, r := range rows {
+		seen[r.System] = r
+		f, ok := floors[r.System]
+		if !ok {
+			t.Fatalf("unexpected system %q on the frontier", r.System)
+		}
+		if r.Precision < f.p {
+			t.Errorf("%s precision %.3f below floor %.2f", r.System, r.Precision, f.p)
+		}
+		if r.Recall < f.r {
+			t.Errorf("%s recall %.3f below floor %.2f", r.System, r.Recall, f.r)
+		}
+	}
+	if len(seen) != len(floors) {
+		t.Fatalf("frontier covered %d systems, want %d", len(seen), len(floors))
+	}
+	// The superset property in aggregate: truncation must not lose recall.
+	for _, narrow := range []string{"minwise8", "minwise16", "minwise32"} {
+		if seen[narrow].Recall < seen["minwise64"].Recall-1e-9 {
+			t.Errorf("%s recall %.3f below minwise64 %.3f — truncation lost candidates",
+				narrow, seen[narrow].Recall, seen["minwise64"].Recall)
+		}
+	}
+	// The bytes axis: each narrowing must report exactly width/8 of the
+	// full store, the acceptance ratio of the PR (b=16 ⇒ ≤ 0.5×).
+	full := seen["minwise64"].BytesPerDomain
+	for name, frac := range map[string]float64{"minwise32": 0.5, "minwise16": 0.25, "minwise8": 0.125} {
+		if got := seen[name].BytesPerDomain; got != full*frac {
+			t.Errorf("%s bytes/domain %.1f, want %.1f", name, got, full*frac)
+		}
+	}
+}
+
+// TestFig4SketchVariants runs Fig. 4 with b-bit ensemble systems riding
+// along and checks the superset property per threshold: a narrow store can
+// only add candidates, so its recall is never below the full-width
+// ensemble's.
+func TestFig4SketchVariants(t *testing.T) {
+	cfg := smallAcc()
+	cfg.Sketches = []core.SketchBackend{core.Minwise16, core.Minwise8}
+	rows, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 base systems + 2 sketch variants, × 3 thresholds.
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows, want 18", len(rows))
+	}
+	for _, tStar := range cfg.Thresholds {
+		at := rowsBySystem(rows, tStar)
+		full := at["LSH Ensemble (32)"]
+		for _, name := range []string{"LSH Ensemble (32, minwise16)", "LSH Ensemble (32, minwise8)"} {
+			v, ok := at[name]
+			if !ok {
+				t.Fatalf("missing system %q at t=%v", name, tStar)
+			}
+			if v.Recall < full.Recall-1e-9 {
+				t.Errorf("%s recall %.3f < full-width %.3f at t=%v", name, v.Recall, full.Recall, tStar)
+			}
+		}
+	}
+}
+
+// TestFig9SketchBackend: the perf sweep must run under a narrow backend and
+// return the same row shape.
+func TestFig9SketchBackend(t *testing.T) {
+	rows, err := RunFig9(PerfConfig{
+		NumDomains: 3000, Steps: 1, NumQueries: 10,
+		NumHash: 128, RMax: 4, Partitions: []int{8}, Seed: 1,
+		Sketch: core.Minwise16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].IndexingTime <= 0 || rows[0].MeanQueryTime <= 0 {
+		t.Fatalf("non-positive timing: %+v", rows[0])
+	}
+}

@@ -152,7 +152,7 @@ func (x *Index) seal(min int) bool {
 		if s := back[i].rec.Size; s > bufMax {
 			bufMax = s
 		}
-		addBufLeads(bb, back[i].rec.Sig, x.opts.RMax)
+		addBufLeads(bb, back[i].rec.Sig, x.opts.RMax, x.opts.Sketch.Mask())
 	}
 	x.bufBloom = bb
 	segs := cur.segs

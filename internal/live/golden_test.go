@@ -12,7 +12,7 @@ import (
 // no kind bytes, map-ordered tombstones, no trailing checksum). These are
 // the bytes old deployments have on disk — the golden fixtures the
 // compatibility promise is tested against.
-func encodeLegacy(t *testing.T, x *Index, version uint32) []byte {
+func encodeLegacy(t testing.TB, x *Index, version uint32) []byte {
 	t.Helper()
 	sn := x.snap.Load()
 	buf := append([]byte(nil), liveMagic[:]...)
@@ -53,7 +53,7 @@ func encodeLegacy(t *testing.T, x *Index, version uint32) []byte {
 
 // goldenIndex builds a state with every feature a legacy snapshot can hold:
 // sealed segments, buffered entries, and live tombstones.
-func goldenIndex(t *testing.T) *Index {
+func goldenIndex(t testing.TB) *Index {
 	t.Helper()
 	recs := fixture(t, 120, 17)
 	x, err := Build(recs[:80], liveOpts())

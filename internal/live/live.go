@@ -214,17 +214,28 @@ func (x *Index) newBufBloom() *bloom.Atomic {
 		return nil
 	}
 	numLeads := (x.opts.NumHash + x.opts.RMax - 1) / x.opts.RMax
-	return bloom.NewAtomic(x.opts.SealThreshold*numLeads, leadsBloomBits, leadsBloomK)
+	entries := x.opts.SealThreshold * numLeads
+	// NumHash and RMax can come from an untrusted snapshot header, so the
+	// product must not drive the allocation: past the cap the filter is
+	// merely over-occupied, which costs pruning precision, not correctness.
+	const maxBufBloomEntries = 1 << 22
+	if entries > maxBufBloomEntries || entries/x.opts.SealThreshold != numLeads {
+		entries = maxBufBloomEntries
+	}
+	return bloom.NewAtomic(entries, leadsBloomBits, leadsBloomK)
 }
 
 // addBufLeads inserts a signature's per-tree leading values (the same
-// stride mayCollide probes).
-func addBufLeads(f *bloom.Atomic, sig minhash.Signature, rMax int) {
+// stride mayCollide probes). Buffered signatures are full-width while the
+// sealed stores truncate to the sketch backend's width, so leading values
+// are masked before insertion — the query side masks identically, keeping
+// the filter's zero-false-negative guarantee across the seal boundary.
+func addBufLeads(f *bloom.Atomic, sig minhash.Signature, rMax int, mask uint64) {
 	if f == nil {
 		return
 	}
 	for off := 0; off < len(sig); off += rMax {
-		f.AddHash(sig[off])
+		f.AddHash(sig[off] & mask)
 	}
 }
 
@@ -632,7 +643,7 @@ func (x *Index) Add(r core.Record) (replaced bool, err error) {
 	x.bufBack = append(x.bufBack, entry{rec: r, seq: seq})
 	// The filter insert precedes the snapshot store, so any reader that can
 	// see this entry also sees its filter bits.
-	addBufLeads(x.bufBloom, r.Sig, x.opts.RMax)
+	addBufLeads(x.bufBloom, r.Sig, x.opts.RMax, x.opts.Sketch.Mask())
 	bufMax := cur.bufMax
 	if r.Size > bufMax {
 		bufMax = r.Size
@@ -820,7 +831,7 @@ func (x *Index) querySnapshot(ctx context.Context, dst []string, sn *snapshot, s
 					}
 					continue
 				}
-				if !seg.meta.mayCollide(sig, x.opts.RMax) {
+				if !seg.meta.mayCollide(sig, x.opts.RMax, x.opts.Sketch.Mask()) {
 					x.segBloomPruned.Add(1)
 					if tr != nil {
 						tr.SegmentsBloomPruned++
@@ -892,6 +903,7 @@ func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snaps
 		return dst, nil
 	}
 	rMax := x.opts.RMax
+	mask := x.opts.Sketch.Mask()
 	// Buffer Bloom pre-test: a band collision at any depth r ≥ 1 needs an
 	// exact match on the band's leading value, and the filter holds every
 	// buffered entry's leading values — so an all-miss query cannot match
@@ -900,7 +912,7 @@ func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snaps
 	if sn.bufBloom != nil {
 		may := false
 		for off := 0; off < len(sig); off += rMax {
-			if sn.bufBloom.MayContainHash(sig[off]) {
+			if sn.bufBloom.MayContainHash(sig[off] & mask) {
 				may = true
 				break
 			}
@@ -932,7 +944,7 @@ func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snaps
 		if !sn.alive(e.rec.Key, e.seq) {
 			continue
 		}
-		if bandsCollide(sig, e.rec.Sig, params.B, params.R, rMax) {
+		if bandsCollide(sig, e.rec.Sig, params.B, params.R, rMax, mask) {
 			dst = append(dst, e.rec.Key)
 		}
 	}
@@ -941,13 +953,16 @@ func (x *Index) appendBufferMatches(ctx context.Context, dst []string, sn *snaps
 
 // bandsCollide reports whether any of the first b bands (each rMax wide,
 // compared at depth r) of the two signatures agree — the LSH forest's
-// collision condition for one entry.
-func bandsCollide(a, b minhash.Signature, bands, r, rMax int) bool {
+// collision condition for one entry. Values are compared under the sketch
+// backend's truncation mask, so the buffer scan collides exactly when the
+// sealed forest would have (the buffer holds full-width signatures, the
+// sealed store truncated ones).
+func bandsCollide(a, b minhash.Signature, bands, r, rMax int, mask uint64) bool {
 	for t := 0; t < bands; t++ {
 		off := t * rMax
 		match := true
 		for k := off; k < off+r; k++ {
-			if a[k] != b[k] {
+			if a[k]&mask != b[k]&mask {
 				match = false
 				break
 			}
@@ -957,6 +972,23 @@ func bandsCollide(a, b minhash.Signature, bands, r, rMax int) bool {
 		}
 	}
 	return false
+}
+
+// sketchContainment scores a full-width buffered signature against the query
+// the way the sealed store would: slot agreement is counted under the
+// backend's truncation mask and converted through its bias-corrected
+// estimator. Under Minwise64 the result is float-identical to
+// a.Containment(b, q, x), so buffer and segment scores merge consistently
+// for every backend.
+func sketchContainment(sb core.SketchBackend, a, b minhash.Signature, q, x float64) float64 {
+	mask := sb.Mask()
+	eq := 0
+	for k := range a {
+		if a[k]&mask == b[k]&mask {
+			eq++
+		}
+	}
+	return sb.ContainmentFromMatch(eq, len(a), q, x)
 }
 
 // QueryBatch answers every query of the batch (the daemon's high-throughput
@@ -1052,7 +1084,7 @@ func (x *Index) queryBatchContext(ctx context.Context, queries []core.BatchQuery
 					x.segRangePruned.Add(1)
 					continue
 				}
-				if !seg.meta.mayCollide(norm[qi].Sig, x.opts.RMax) {
+				if !seg.meta.mayCollide(norm[qi].Sig, x.opts.RMax, x.opts.Sketch.Mask()) {
 					x.segBloomPruned.Add(1)
 					continue
 				}
@@ -1161,7 +1193,7 @@ func (x *Index) queryTopKContext(ctx context.Context, sig minhash.Signature, que
 			if !sn.alive(key, seg.seqs[id]) {
 				continue
 			}
-			est := sig.Containment(seg.idx.Signature(id), q, float64(seg.idx.Size(id)))
+			est := seg.idx.EstContainment(id, sig, querySize)
 			results = append(results, core.TopKResult{Key: key, EstContainment: est})
 		}
 		rank()
@@ -1176,7 +1208,7 @@ func (x *Index) queryTopKContext(ctx context.Context, sig minhash.Signature, que
 				if !sn.alive(e.rec.Key, e.seq) {
 					continue
 				}
-				est := sig.Containment(e.rec.Sig, q, float64(e.rec.Size))
+				est := sketchContainment(x.opts.Sketch, sig, e.rec.Sig, q, float64(e.rec.Size))
 				results = append(results, core.TopKResult{Key: e.rec.Key, EstContainment: est})
 			}
 			rank()
@@ -1205,6 +1237,13 @@ type Stats struct {
 	// Seals and Merges count completed compactor operations.
 	Seals  uint64 `json:"seals"`
 	Merges uint64 `json:"merges"`
+	// Sketch names the signature backend sealed segments store with
+	// (core.SketchBackend): "minwise64" unless configured otherwise.
+	Sketch string `json:"sketch"`
+	// SignatureBytes is the total stored signature footprint: the sealed
+	// segments' truncated stores plus the unsealed buffer's full-width
+	// signatures. The compact sketch backends shrink the sealed share.
+	SignatureBytes int64 `json:"signature_bytes"`
 	// SpillErrors counts segment spills that failed; the affected segments
 	// keep serving from the heap.
 	SpillErrors uint64 `json:"spill_errors,omitempty"`
@@ -1228,6 +1267,9 @@ type SegmentStats struct {
 	MaxBound int `json:"max_bound"`
 	// BloomBytes is the footprint of the segment's planner Bloom filters.
 	BloomBytes int `json:"bloom_bytes"`
+	// SignatureBytes is the byte size of the segment's signature store at
+	// the sketch backend's width (entries × NumHash × width).
+	SignatureBytes int `json:"signature_bytes"`
 	// Backing reports where the segment's probe data lives: "heap" or
 	// "mmap" (a memory-mapped segment file).
 	Backing string `json:"backing"`
@@ -1277,6 +1319,7 @@ func (x *Index) Stats() Stats {
 		Tombstones:  len(sn.tombs),
 		Seals:       x.seals.Load(),
 		Merges:      x.merges.Load(),
+		Sketch:      x.opts.Sketch.String(),
 		SpillErrors: x.spillErrors.Load(),
 		Planner: PlannerStats{
 			SegmentsProbed:      x.segProbed.Load(),
@@ -1304,17 +1347,23 @@ func (x *Index) Stats() Stats {
 		if fi := seg.finfo.Load(); fi != nil {
 			fileBytes = fi.size
 		}
+		sigBytes := seg.idx.SignatureBytes()
+		st.SignatureBytes += int64(sigBytes)
 		st.SegmentDetail[i] = SegmentStats{
-			Entries:       seg.idx.Len(),
-			MinSize:       seg.meta.minSize,
-			MaxSize:       seg.meta.maxSize,
-			MaxBound:      seg.meta.maxBound,
-			BloomBytes:    seg.meta.bloomBytes(),
-			Backing:       backing,
-			FileBytes:     fileBytes,
-			ResidentBytes: seg.resident,
+			Entries:        seg.idx.Len(),
+			MinSize:        seg.meta.minSize,
+			MaxSize:        seg.meta.maxSize,
+			MaxBound:       seg.meta.maxBound,
+			BloomBytes:     seg.meta.bloomBytes(),
+			SignatureBytes: sigBytes,
+			Backing:        backing,
+			FileBytes:      fileBytes,
+			ResidentBytes:  seg.resident,
 		}
 	}
+	// Buffered entries always hold full-width signatures; they truncate at
+	// seal time.
+	st.SignatureBytes += int64(len(sn.buf)) * int64(x.opts.NumHash) * 8
 	for _, seg := range sn.segs {
 		if n := len(seg.seqs); n > 0 && seg.seqs[n-1] > st.Seq {
 			st.Seq = seg.seqs[n-1]

@@ -124,13 +124,15 @@ func (m *segMeta) bloomBytes() int {
 // mayCollide reports whether the segment can contain any LSH collision for
 // the query signature. Sound with zero false negatives: every forest probe
 // requires an exact match on the probed tree's leading value, and leads
-// holds all of them.
-func (m *segMeta) mayCollide(sig minhash.Signature, rMax int) bool {
+// holds all of them. The filter stores the values as the sealed forest
+// stores them — truncated to the sketch backend's width — so the query side
+// masks identically (identity mask under Minwise64).
+func (m *segMeta) mayCollide(sig minhash.Signature, rMax int, mask uint64) bool {
 	if m.leads == nil {
 		return false
 	}
 	for off := 0; off < len(sig); off += rMax {
-		if m.leads.MayContainHash(sig[off]) {
+		if m.leads.MayContainHash(sig[off] & mask) {
 			return true
 		}
 	}

@@ -17,7 +17,7 @@ import (
 // Binary snapshot format (all integers little-endian):
 //
 //	magic "LIVE" | version u32
-//	numHash u32 | rMax u32 | seq u64
+//	numHash u32 | rMax u32 | sketch u32 (v4+) | seq u64
 //	nsegs u32, per segment (v3 leads each with a kind byte):
 //	    kind 0 (inline): n u32, seqs [n]u64, core index bytes (self-framed),
 //	        and from version 2 the planner metadata:
@@ -37,7 +37,9 @@ import (
 // a trailing checksum rejects truncation or corruption anywhere in the
 // snapshot. A v3 segment without a file (no DataDir, or its spill failed)
 // falls back to the v2-style inline block per segment, so Save can always
-// encode. Load accepts all three versions — a v1 snapshot rebuilds its
+// encode. v4 adds the sketch-backend tag (core.SketchBackend) to the header;
+// v1–v3 snapshots predate the pluggable backends and always load as
+// Minwise64. Load accepts all four versions — a v1 snapshot rebuilds its
 // metadata from the decoded segments (buildSegMeta is a pure function of
 // the core index, so the rebuilt planner state is identical to what seal
 // time would have produced). Save always writes the current version.
@@ -52,9 +54,10 @@ import (
 var liveMagic = [4]byte{'L', 'I', 'V', 'E'}
 
 const (
-	liveVersion   = 3
+	liveVersion   = 4
 	liveVersionV1 = 1 // pre-planner: no per-segment metadata block
 	liveVersionV2 = 2 // inline planner metadata, no manifest
+	liveVersionV3 = 3 // manifest + checksum, implicit Minwise64 backend
 )
 
 // Segment kind bytes of the v3 encoding.
@@ -97,6 +100,7 @@ func (x *Index) AppendBinary(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, liveVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.NumHash))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.opts.RMax))
+	buf = binary.LittleEndian.AppendUint32(buf, x.opts.Sketch.Tag())
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sn.segs)))
 	for _, seg := range sn.segs {
@@ -165,15 +169,19 @@ func (x *Index) Save(w io.Writer) error {
 
 // Load reconstructs a live index from a snapshot previously written with
 // Save, using opts for the runtime knobs (thresholds, compactor). Non-zero
-// opts.NumHash/opts.RMax must match the saved shape — a mismatched hash
-// family would silently return garbage, so it is rejected here. The
-// background compactor starts unless opts.ManualCompaction is set.
+// opts.NumHash/opts.RMax must match the saved shape, and a non-default
+// opts.Sketch must match the saved backend — a mismatched hash family or
+// sketch width would silently return garbage, so both are rejected here
+// (an opts.Sketch left at the Minwise64 zero value adopts whatever the
+// snapshot carries, like a zero NumHash). The background compactor starts
+// unless opts.ManualCompaction is set.
 func Load(r io.Reader, opts Options) (*Index, error) {
 	buf, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	// Fixed header: magic(4) + version(4) + numHash(4) + rMax(4) + seq(8).
+	// Fixed header: magic(4) + version(4) + numHash(4) + rMax(4) +
+	// sketch(4, v4+) + seq(8).
 	if len(buf) < 24 || [4]byte(buf[:4]) != liveMagic {
 		return nil, ErrCorrupt
 	}
@@ -182,8 +190,8 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("live: snapshot version %d, want %d..%d: %w",
 			version, liveVersionV1, liveVersion, ErrCorrupt)
 	}
-	if version >= 3 {
-		// The whole v3 encoding is covered by a trailing checksum, so any
+	if version >= liveVersionV3 {
+		// The whole v3+ encoding is covered by a trailing checksum, so any
 		// truncation or corruption is rejected before structural parsing.
 		if len(buf) < 32 ||
 			crc64.Checksum(buf[:len(buf)-8], crcTable) != binary.LittleEndian.Uint64(buf[len(buf)-8:]) {
@@ -193,15 +201,37 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 	}
 	numHash := int(binary.LittleEndian.Uint32(buf[8:]))
 	rMax := int(binary.LittleEndian.Uint32(buf[12:]))
+	sketch := core.Minwise64
+	if version >= 4 {
+		if len(buf) < 28 {
+			return nil, ErrCorrupt
+		}
+		sb, ok := core.SketchBackendFromTag(binary.LittleEndian.Uint32(buf[16:]))
+		if !ok || !sb.Indexable() {
+			return nil, fmt.Errorf("live: snapshot carries unknown or non-indexable sketch backend tag %d: %w",
+				binary.LittleEndian.Uint32(buf[16:]), ErrCorrupt)
+		}
+		sketch = sb
+		buf = buf[4:]
+	}
 	seq := binary.LittleEndian.Uint64(buf[16:])
 	buf = buf[24:]
+	// Save never emits a degenerate shape (Build validates it), and zeros
+	// must not fall through to withDefaults below: the raw rMax strides
+	// loops (addBufLeads), where 0 would never advance.
+	if numHash < 1 || rMax < 1 || rMax > numHash {
+		return nil, fmt.Errorf("live: snapshot header shape (%d, %d): %w", numHash, rMax, ErrCorrupt)
+	}
 	if opts.NumHash != 0 && opts.NumHash != numHash {
 		return nil, fmt.Errorf("live: snapshot NumHash %d != configured %d", numHash, opts.NumHash)
 	}
 	if opts.RMax != 0 && opts.RMax != rMax {
 		return nil, fmt.Errorf("live: snapshot RMax %d != configured %d", rMax, opts.RMax)
 	}
-	opts.NumHash, opts.RMax = numHash, rMax
+	if opts.Sketch != core.Minwise64 && opts.Sketch != sketch {
+		return nil, fmt.Errorf("live: snapshot sketch backend %s != configured %s", sketch, opts.Sketch)
+	}
+	opts.NumHash, opts.RMax, opts.Sketch = numHash, rMax, sketch
 	opts = opts.withDefaults()
 	if err := opts.Options.Validate(); err != nil {
 		return nil, err
@@ -273,6 +303,10 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 			if o := idx.Options(); o.NumHash != numHash || o.RMax != rMax {
 				return nil, fmt.Errorf("live: segment %d shape (%d, %d) != header (%d, %d): %w",
 					i, o.NumHash, o.RMax, numHash, rMax, ErrCorrupt)
+			}
+			if s := idx.Sketch(); s != sketch {
+				return nil, fmt.Errorf("live: segment %d sketch backend %s != snapshot %s: %w",
+					i, s, sketch, ErrCorrupt)
 			}
 			var meta *segMeta
 			if version >= 2 {
@@ -358,7 +392,7 @@ func Load(r io.Reader, opts Options) (*Index, error) {
 	sn.buf = x.bufBack
 	x.bufBloom = x.newBufBloom()
 	for i := range sn.buf {
-		addBufLeads(x.bufBloom, sn.buf[i].rec.Sig, rMax)
+		addBufLeads(x.bufBloom, sn.buf[i].rec.Sig, rMax, opts.Sketch.Mask())
 	}
 	sn.bufBloom = x.bufBloom
 	ntombs, buf, err := readCount(buf)

@@ -22,12 +22,13 @@ import (
 // arrays are typed views over the raw bytes (internal/segfile) that, under
 // mmap, stay on disk until a probe faults them in.
 //
-// Segment file layout ("LSEG" version 1, all integers little-endian, every
-// section offset 4096-aligned so mapped views are page- and type-aligned):
+// Segment file layout ("LSEG" versions 1 and 2, all integers little-endian,
+// every section offset 4096-aligned so mapped views are page- and
+// type-aligned):
 //
 //	header page:
 //	    magic "LSEG" | version u32 | numHash u32 | rMax u32
-//	    nParts u32 | reserved u32 | nRecords u64
+//	    nParts u32 | sketch u32 | nRecords u64
 //	    section table: 5 × (offset u64, length u64) for META, STORE, IDS,
 //	        TREES, KEYSCOL
 //	    metaCRC u64 | lazyCRC u64 | headerCRC u64   (crc64-ECMA)
@@ -37,10 +38,19 @@ import (
 //	    per record, in id order: seq u64 | size u64 | keylen u32 | key
 //	    planner metadata, as in the snapshot format:
 //	        minSize u64 | maxSize u64 | maxBound u64 | keys bloom | leads bloom
-//	STORE (lazy): per partition, its contiguous signature store [count·numHash]u64
+//	STORE (lazy): per partition, its contiguous signature store,
+//	    count·numHash values at the sketch backend's width
 //	IDS   (lazy): per partition, its entry ids [count]u32
 //	TREES (lazy): per partition per tree, the sorted slot order [count]u32
-//	KEYSCOL (lazy): per partition per tree, the leading-value column [count]u64
+//	KEYSCOL (lazy): per partition per tree, the leading-value column,
+//	    count values at the sketch backend's width
+//
+// The sketch field occupies what version 1 wrote as a zero "reserved" u32,
+// so a v1 file is exactly a v2 file carrying the Minwise64 tag (0). Writers
+// keep emitting version 1 for Minwise64 segments — byte-identical to the
+// pre-backend format — and bump to version 2 only when a narrow backend
+// makes the STORE/KEYSCOL element width differ from 8 bytes, so older
+// readers reject such files by version instead of misreading them.
 //
 // headerCRC covers the fixed header fields and always gates an open; metaCRC
 // covers META and is likewise always verified (both are eagerly read
@@ -51,10 +61,11 @@ import (
 // torn file under a name the manifest can reference.
 
 const (
-	segFileVersion = 1
-	segPage        = 4096
-	segHeaderLen   = 136 // through headerCRC
-	segHeaderCRCAt = 128
+	segFileVersion   = 1 // Minwise64: byte-identical to the pre-backend format
+	segFileVersionV2 = 2 // narrow sketch backends: width-scaled STORE/KEYSCOL
+	segPage          = 4096
+	segHeaderLen     = 136 // through headerCRC
+	segHeaderCRCAt   = 128
 )
 
 var segFileMagic = [4]byte{'L', 'S', 'E', 'G'}
@@ -71,13 +82,6 @@ type segFileInfo struct {
 }
 
 func alignPage(n int) int { return (n + segPage - 1) &^ (segPage - 1) }
-
-func putU64s(dst []byte, vals []uint64) int {
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(dst[i*8:], v)
-	}
-	return len(vals) * 8
-}
 
 func putU32s(dst []byte, vals []uint32) int {
 	for i, v := range vals {
@@ -102,6 +106,7 @@ func appendSegMeta(buf []byte, m *segMeta) []byte {
 func segmentImage(seg *segment) []byte {
 	idx, o := seg.idx, seg.idx.Options()
 	n, bMax := idx.Len(), o.NumHash/o.RMax
+	w := o.Sketch.WidthBytes()
 
 	// META is variable-length: assemble it first, then place the fixed-size
 	// lazy sections on page boundaries after it.
@@ -124,13 +129,13 @@ func segmentImage(seg *segment) []byte {
 
 	metaOff := segPage
 	storeOff := alignPage(metaOff + len(meta))
-	storeLen := n * o.NumHash * 8
+	storeLen := n * o.NumHash * w
 	idsOff := alignPage(storeOff + storeLen)
 	idsLen := n * 4
 	treesOff := alignPage(idsOff + idsLen)
 	treesLen := n * bMax * 4
 	colsOff := alignPage(treesOff + treesLen)
-	colsLen := n * bMax * 8
+	colsLen := n * bMax * w
 	total := colsOff + colsLen
 
 	img := make([]byte, total)
@@ -138,24 +143,30 @@ func segmentImage(seg *segment) []byte {
 	so, io_, to, co := storeOff, idsOff, treesOff, colsOff
 	for _, pv := range parts {
 		f := pv.Forest
-		so += putU64s(img[so:], f.StoreRaw())
+		f.WriteStoreLE(img[so : so+f.StoreLenBytes()])
+		so += f.StoreLenBytes()
 		io_ += putU32s(img[io_:], f.IDs())
 		if f.Len() == 0 {
 			continue
 		}
 		for t := 0; t < bMax; t++ {
 			to += putU32s(img[to:], f.Tree(t))
-			co += putU64s(img[co:], f.TreeLeadingColumn(t))
+			f.WriteTreeKeysLE(t, img[co:co+f.Len()*w])
+			co += f.Len() * w
 		}
 	}
 
+	version := uint32(segFileVersion)
+	if o.Sketch != core.Minwise64 {
+		version = segFileVersionV2
+	}
 	h := img[:0]
 	h = append(h, segFileMagic[:]...)
-	h = binary.LittleEndian.AppendUint32(h, segFileVersion)
+	h = binary.LittleEndian.AppendUint32(h, version)
 	h = binary.LittleEndian.AppendUint32(h, uint32(o.NumHash))
 	h = binary.LittleEndian.AppendUint32(h, uint32(o.RMax))
 	h = binary.LittleEndian.AppendUint32(h, uint32(len(parts)))
-	h = binary.LittleEndian.AppendUint32(h, 0) // reserved
+	h = binary.LittleEndian.AppendUint32(h, o.Sketch.Tag()) // 0 ("reserved") in v1
 	h = binary.LittleEndian.AppendUint64(h, uint64(n))
 	for _, sec := range [5][2]int{{metaOff, len(meta)}, {storeOff, storeLen}, {idsOff, idsLen}, {treesOff, treesLen}, {colsOff, colsLen}} {
 		h = binary.LittleEndian.AppendUint64(h, uint64(sec[0]))
@@ -179,7 +190,7 @@ func errSegFile(format string, args ...any) error {
 // under mmap no signature page is read here. verifyLazy additionally checks
 // lazyCRC — done for heap opens (the bytes were just read anyway), skipped
 // for mapped opens to keep boot lazy.
-func openSegmentImage(back *segfile.Backing, numHash, rMax int, verifyLazy bool) (*segment, error) {
+func openSegmentImage(back *segfile.Backing, numHash, rMax int, sketch core.SketchBackend, verifyLazy bool) (*segment, error) {
 	img := back.Bytes()
 	if len(img) < segPage || [4]byte(img[:4]) != segFileMagic {
 		return nil, errSegFile("bad magic or short file")
@@ -187,8 +198,8 @@ func openSegmentImage(back *segfile.Backing, numHash, rMax int, verifyLazy bool)
 	if crc64.Checksum(img[:segHeaderCRCAt], crcTable) != binary.LittleEndian.Uint64(img[segHeaderCRCAt:]) {
 		return nil, errSegFile("header checksum mismatch")
 	}
-	if v := binary.LittleEndian.Uint32(img[4:]); v != segFileVersion {
-		return nil, errSegFile("version %d, want %d", v, segFileVersion)
+	if v := binary.LittleEndian.Uint32(img[4:]); v != segFileVersion && v != segFileVersionV2 {
+		return nil, errSegFile("version %d, want %d or %d", v, segFileVersion, segFileVersionV2)
 	}
 	if nh := int(binary.LittleEndian.Uint32(img[8:])); nh != numHash {
 		return nil, errSegFile("NumHash %d != snapshot %d", nh, numHash)
@@ -197,6 +208,15 @@ func openSegmentImage(back *segfile.Backing, numHash, rMax int, verifyLazy bool)
 		return nil, errSegFile("RMax %d != snapshot %d", rm, rMax)
 	}
 	nParts := int(binary.LittleEndian.Uint32(img[16:]))
+	// v1 wrote this word as zero padding — which is exactly the Minwise64 tag.
+	sb, ok := core.SketchBackendFromTag(binary.LittleEndian.Uint32(img[20:]))
+	if !ok || !sb.Indexable() {
+		return nil, errSegFile("unknown or non-indexable sketch backend tag %d", binary.LittleEndian.Uint32(img[20:]))
+	}
+	if sb != sketch {
+		return nil, errSegFile("sketch backend %s != snapshot %s", sb, sketch)
+	}
+	w := sketch.WidthBytes()
 	n := int(binary.LittleEndian.Uint64(img[24:]))
 	if nParts < 1 || n < 1 || n > len(img) {
 		return nil, errSegFile("%d partitions, %d records", nParts, n)
@@ -213,7 +233,7 @@ func openSegmentImage(back *segfile.Backing, numHash, rMax int, verifyLazy bool)
 		off[i], ln[i] = int(o), int(l)
 		prevEnd = int(o) + int(l)
 	}
-	if ln[1] != n*numHash*8 || ln[2] != n*4 || ln[3] != n*bMax*4 || ln[4] != n*bMax*8 {
+	if ln[1] != n*numHash*w || ln[2] != n*4 || ln[3] != n*bMax*4 || ln[4] != n*bMax*w {
 		return nil, errSegFile("section lengths disagree with %d records", n)
 	}
 	meta := img[off[0] : off[0]+ln[0]]
@@ -276,36 +296,38 @@ func openSegmentImage(back *segfile.Backing, numHash, rMax int, verifyLazy bool)
 	}
 
 	// Lazy sections become per-partition typed views; only slicing happens
-	// here, no element is read.
-	store := segfile.Uint64s(img[off[1] : off[1]+ln[1]])
+	// here, no element is read. STORE and KEYSCOL stay byte regions until
+	// FromViewBytes casts them at the backend's element width.
+	storeB := img[off[1] : off[1]+ln[1]]
 	ids := segfile.Uint32s(img[off[2] : off[2]+ln[2]])
 	treesAll := segfile.Uint32s(img[off[3] : off[3]+ln[3]])
-	colsAll := segfile.Uint64s(img[off[4] : off[4]+ln[4]])
+	colsB := img[off[4] : off[4]+ln[4]]
 	views := make([]core.PartView, nParts)
-	so, io_, to := 0, 0, 0
+	so, io_, to, co := 0, 0, 0, 0
 	for i := 0; i < nParts; i++ {
 		cnt := counts[i]
 		var trees [][]uint32
-		var cols [][]uint64
+		var cols [][]byte
 		if cnt > 0 {
 			trees = make([][]uint32, bMax)
-			cols = make([][]uint64, bMax)
+			cols = make([][]byte, bMax)
 			for t := 0; t < bMax; t++ {
 				trees[t] = treesAll[to+t*cnt : to+(t+1)*cnt]
-				cols[t] = colsAll[to+t*cnt : to+(t+1)*cnt]
+				cols[t] = colsB[co+t*cnt*w : co+(t+1)*cnt*w]
 			}
 		}
-		f, err := lshforest.FromView(numHash, rMax,
-			ids[io_:io_+cnt], store[so:so+cnt*numHash], trees, cols)
+		f, err := lshforest.FromViewBytes(numHash, rMax, w,
+			ids[io_:io_+cnt], storeB[so:so+cnt*numHash*w], trees, cols)
 		if err != nil {
 			return nil, errSegFile("partition %d: %v", i, err)
 		}
 		views[i] = core.PartView{Lower: lowers[i], Upper: uppers[i], Forest: f}
-		so += cnt * numHash
+		so += cnt * numHash * w
 		io_ += cnt
 		to += cnt * bMax
+		co += cnt * bMax * w
 	}
-	opts := core.Options{NumHash: numHash, RMax: rMax, NumPartitions: nParts}
+	opts := core.Options{NumHash: numHash, RMax: rMax, NumPartitions: nParts, Sketch: sketch}
 	idx, err := core.FromParts(opts, keys, sizes, views)
 	if err != nil {
 		return nil, errSegFile("%v", err)
@@ -334,9 +356,10 @@ func heapSegmentResident(idx *core.Index, meta *segMeta) int64 {
 	n := idx.Len()
 	o := idx.Options()
 	bMax := o.NumHash / o.RMax
-	b := int64(n) * int64(o.NumHash) * 8 // signature store
-	b += int64(n) * 4                    // entry ids
-	b += int64(n) * int64(bMax) * 12     // tree orders + leading columns
+	w := int64(o.Sketch.WidthBytes())
+	b := int64(n) * int64(o.NumHash) * w  // signature store
+	b += int64(n) * 4                     // entry ids
+	b += int64(n) * int64(bMax) * (4 + w) // tree orders + leading columns
 	for id := 0; id < n; id++ {
 		b += int64(len(idx.Key(uint32(id))))
 	}
@@ -395,7 +418,7 @@ func (x *Index) openSegmentFile(fi *segFileInfo, verify bool) (*segment, error) 
 			return nil, errSegFile("%s does not match its manifest entry", filepath.Base(fi.path))
 		}
 	}
-	seg, err := openSegmentImage(back, x.opts.NumHash, x.opts.RMax, !back.Mapped())
+	seg, err := openSegmentImage(back, x.opts.NumHash, x.opts.RMax, x.opts.Sketch, !back.Mapped())
 	if err != nil {
 		back.Close()
 		return nil, err

@@ -1,0 +1,246 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lshensemble/internal/core"
+)
+
+// sketchOpts is liveOpts with a non-default sketch backend.
+func sketchOpts(sb core.SketchBackend) Options {
+	opts := liveOpts()
+	opts.Sketch = sb
+	return opts
+}
+
+// narrowBackends are the b-bit minwise backends every matrix test runs over.
+var narrowBackends = []core.SketchBackend{core.Minwise8, core.Minwise16, core.Minwise32}
+
+// TestSketchBackendSelfRetrieval: a b-bit store only raises band collision
+// probability relative to Minwise64, so self-retrieval at threshold 1.0 must
+// survive every backend — across sealed segments AND the unsealed buffer
+// (whose masked scan must collide exactly like the sealed forest would).
+func TestSketchBackendSelfRetrieval(t *testing.T) {
+	recs := fixture(t, 120, 5)
+	for _, sb := range narrowBackends {
+		t.Run(sb.String(), func(t *testing.T) {
+			x, err := Build(recs[:80], sketchOpts(sb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer x.Close()
+			for _, r := range recs[80:] { // buffered
+				if _, err := x.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, r := range recs {
+				if !contains(x.Query(r.Sig, r.Size, 1.0), r.Key) {
+					t.Fatalf("%s: %s not self-retrieved", sb, r.Key)
+				}
+			}
+			top := x.QueryTopK(recs[0].Sig, recs[0].Size, 3)
+			if len(top) == 0 || top[0].Key != recs[0].Key {
+				t.Fatalf("%s: top-1 of self query = %v", sb, top)
+			}
+		})
+	}
+}
+
+// TestSketchBackendSupersetOfMinwise64: truncation can only add candidates
+// (chance collisions in the surviving bits), never lose one — every
+// Minwise64 answer must be contained in the narrow backend's answer.
+func TestSketchBackendSupersetOfMinwise64(t *testing.T) {
+	recs := fixture(t, 150, 6)
+	full, err := Build(recs, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	for _, sb := range narrowBackends {
+		t.Run(sb.String(), func(t *testing.T) {
+			x, err := Build(recs, sketchOpts(sb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer x.Close()
+			for _, r := range recs[:40] {
+				for _, tStar := range []float64{0.5, 0.8, 1.0} {
+					want := full.Query(r.Sig, r.Size, tStar)
+					got := x.Query(r.Sig, r.Size, tStar)
+					for _, k := range want {
+						if !contains(got, k) {
+							t.Fatalf("%s t=%v: candidate %s lost by truncation", sb, tStar, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSketchBackendSaveLoadRoundTrip saves and reloads a narrow-backend
+// index (v4 manifest) and demands identical answers and shape; it also
+// exercises the seed-style mismatch rejection when the configured backend
+// disagrees with the manifest.
+func TestSketchBackendSaveLoadRoundTrip(t *testing.T) {
+	recs := fixture(t, 100, 7)
+	for _, sb := range narrowBackends {
+		t.Run(sb.String(), func(t *testing.T) {
+			x, err := Build(recs[:70], sketchOpts(sb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer x.Close()
+			for _, r := range recs[70:] {
+				if _, err := x.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			x.Delete(recs[10].Key)
+			var buf bytes.Buffer
+			if err := x.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+
+			// Zero-value Sketch adopts the manifest's backend.
+			y, err := Load(bytes.NewReader(buf.Bytes()), func() Options {
+				o := liveOpts()
+				o.Sketch = 0
+				return o
+			}())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer y.Close()
+			if got := y.Options().Sketch; got != sb {
+				t.Fatalf("loaded sketch %s, want %s", got, sb)
+			}
+			if y.Len() != x.Len() {
+				t.Fatalf("loaded Len %d, want %d", y.Len(), x.Len())
+			}
+			for _, r := range recs[:30] {
+				want := x.Query(r.Sig, r.Size, 0.8)
+				got := y.Query(r.Sig, r.Size, 0.8)
+				if fmt.Sprint(sortedKeys(got)) != fmt.Sprint(sortedKeys(want)) {
+					t.Fatalf("round trip changed answer: %v vs %v", got, want)
+				}
+			}
+
+			// Explicitly configured matching backend also loads.
+			if z, err := Load(bytes.NewReader(buf.Bytes()), sketchOpts(sb)); err != nil {
+				t.Fatalf("matching configured backend rejected: %v", err)
+			} else {
+				z.Close()
+			}
+			// A conflicting non-default backend is rejected, like NumHash.
+			wrong := core.Minwise8
+			if sb == core.Minwise8 {
+				wrong = core.Minwise16
+			}
+			if _, err := Load(bytes.NewReader(buf.Bytes()), sketchOpts(wrong)); err == nil {
+				t.Fatalf("mismatched backend %s accepted against %s manifest", wrong, sb)
+			}
+		})
+	}
+}
+
+// TestSketchBackendOutOfCore runs the heap/spill/mmap trio under each narrow
+// backend: the LSEG v2 width-scaled sections must be invisible to queries.
+func TestSketchBackendOutOfCore(t *testing.T) {
+	recs := fixture(t, 120, 8)
+	for _, sb := range narrowBackends {
+		t.Run(sb.String(), func(t *testing.T) {
+			mk := func(dataDir string, mmap bool) *Index {
+				opts := sketchOpts(sb)
+				opts.DataDir = dataDir
+				opts.Mmap = mmap
+				x, err := Build(recs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return x
+			}
+			heap := mk("", false)
+			defer heap.Close()
+			spill := mk(t.TempDir(), false)
+			defer spill.Close()
+			mapped := mk(t.TempDir(), true)
+			defer mapped.Close()
+			requireSameAnswers(t, sb.String(), heap, spill, mapped, recs[:30])
+		})
+	}
+}
+
+// TestSketchBackendSignatureBytes pins the acceptance ratio: the b-bit
+// stores must shrink the sealed signature footprint by exactly width/8, so
+// Minwise16 reports ≤ 0.5× the Minwise64 bytes.
+func TestSketchBackendSignatureBytes(t *testing.T) {
+	recs := fixture(t, 200, 9)
+	bytesFor := func(sb core.SketchBackend) int64 {
+		x, err := Build(recs, sketchOpts(sb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		st := x.Stats()
+		if st.Sketch != sb.String() {
+			t.Fatalf("Stats.Sketch = %q, want %q", st.Sketch, sb)
+		}
+		if len(st.SegmentDetail) == 0 || st.SegmentDetail[0].SignatureBytes <= 0 {
+			t.Fatalf("%s: missing per-segment signature bytes: %+v", sb, st.SegmentDetail)
+		}
+		return st.SignatureBytes
+	}
+	full := bytesFor(core.Minwise64)
+	for _, sb := range narrowBackends {
+		got := bytesFor(sb)
+		want := full * int64(sb.WidthBytes()) / 8
+		if got != want {
+			t.Fatalf("%s signature bytes %d, want %d (%d × %d/8)", sb, got, want, full, sb.WidthBytes())
+		}
+	}
+	if b16 := bytesFor(core.Minwise16); 2*b16 > full {
+		t.Fatalf("minwise16 bytes %d not ≤ 0.5× minwise64 %d", b16, full)
+	}
+}
+
+// TestSketchBackendCompactEquivalence fully compacts a mixed buffer+segment
+// state and requires the result to answer exactly like a fresh Build over
+// the surviving records (the package's compaction invariant) — truncation is
+// idempotent, so re-sealing stored truncations through full-width signature
+// carriers must be lossless under every backend.
+func TestSketchBackendCompactEquivalence(t *testing.T) {
+	recs := fixture(t, 140, 11)
+	for _, sb := range narrowBackends {
+		t.Run(sb.String(), func(t *testing.T) {
+			x, err := Build(recs[:90], sketchOpts(sb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer x.Close()
+			for _, r := range recs[90:] {
+				if _, err := x.Add(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			x.Delete(recs[3].Key)
+			x.Compact()
+			survivors := append(append([]core.Record(nil), recs[:3]...), recs[4:]...)
+			fresh, err := Build(survivors, sketchOpts(sb))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fresh.Close()
+			for i, r := range recs[:40] {
+				got := sortedKeys(x.Query(r.Sig, r.Size, 0.7))
+				want := sortedKeys(fresh.Query(r.Sig, r.Size, 0.7))
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s: compacted answer %d diverges from fresh build: %v vs %v", sb, i, got, want)
+				}
+			}
+		})
+	}
+}

@@ -13,14 +13,19 @@
 // r ≤ rMax, hence b·r ≤ bMax·rMax ≤ m as required by the paper's tuning
 // constraint (Eq. 25).
 //
-// Storage layout: all signatures live in one contiguous []uint64 backing
-// store with stride numHash, and every tree additionally keeps a flat column
-// of its first hash value in sorted order. Probes binary-search that
-// contiguous column (no pointer chasing through per-entry slice headers) and
-// only fall back to the backing store to resolve prefixes deeper than one
-// value. Trees are built with an LSD radix sort on the leading hash value —
-// hash values are near-uniform in [0, 2^61), so ties needing the deeper
-// comparison sort are rare.
+// Storage layout: all signatures live in one contiguous backing store with
+// stride numHash, and every tree additionally keeps a flat column of its
+// first hash value in sorted order. Probes binary-search that contiguous
+// column (no pointer chasing through per-entry slice headers) and only fall
+// back to the backing store to resolve prefixes deeper than one value. Trees
+// are built with an LSD radix sort on the leading hash value — hash values
+// are near-uniform, so ties needing the deeper comparison sort are rare.
+//
+// The store's element width is configurable (NewWidth): 8 bytes holds the
+// full 61-bit minhash values, narrower widths (1, 2, 4 bytes) hold b-bit
+// truncations — the b-bit minwise backends of internal/core. Query
+// signatures stay full-width []uint64 regardless; every compare site
+// truncates the query value to the store's width on the fly (see store.go).
 package lshforest
 
 import (
@@ -39,31 +44,43 @@ type Forest struct {
 	numHash int
 	rMax    int
 	bMax    int
+	width   int // bytes per stored hash value: 1, 2, 4 or 8
 
-	store []uint64 // contiguous signatures, stride numHash; entry i at [i*numHash, (i+1)*numHash)
-	ids   []uint32 // caller-assigned id per inserted entry
+	ids   []uint32   // caller-assigned id per inserted entry
+	trees [][]uint32 // per tree: slot indices sorted by that tree's hash vector
 
-	trees    [][]uint32 // per tree: slot indices sorted by that tree's hash vector
-	treeKeys [][]uint64 // per tree: leading hash value of each sorted slot (contiguous search column)
+	st sigstore // width-typed signature store + per-tree leading-value columns
 
 	indexed bool
 	view    bool // FromView forest over external (possibly mapped) storage: mutation panics
 }
 
 // New constructs a forest for signatures of numHash values with trees of
-// depth rMax. The number of trees is numHash/rMax (integer division); rMax
-// must be in [1, numHash].
-func New(numHash, rMax int) *Forest {
+// depth rMax, storing full-width (8-byte) hash values. The number of trees
+// is numHash/rMax (integer division); rMax must be in [1, numHash].
+func New(numHash, rMax int) *Forest { return NewWidth(numHash, rMax, 8) }
+
+// NewWidth is New with an explicit store element width in bytes (1, 2, 4 or
+// 8). Narrow widths store the low 8·width bits of each hash value — the
+// b-bit minwise truncation — and truncate query values to match at probe
+// time.
+func NewWidth(numHash, rMax, width int) *Forest {
 	if numHash <= 0 {
 		panic("lshforest: numHash must be positive")
 	}
 	if rMax <= 0 || rMax > numHash {
 		panic(fmt.Sprintf("lshforest: rMax %d out of range [1, %d]", rMax, numHash))
 	}
+	st := newStore(width, numHash, rMax)
+	if st == nil {
+		panic(fmt.Sprintf("lshforest: width %d not one of 1, 2, 4, 8", width))
+	}
 	return &Forest{
 		numHash: numHash,
 		rMax:    rMax,
 		bMax:    numHash / rMax,
+		width:   width,
+		st:      st,
 	}
 }
 
@@ -75,6 +92,10 @@ func (f *Forest) RMax() int { return f.rMax }
 
 // BMax returns the number of trees (maximum b usable at query time).
 func (f *Forest) BMax() int { return f.bMax }
+
+// Width returns the store's element width in bytes (8 for full minwise,
+// 1/2/4 for the b-bit truncated backends).
+func (f *Forest) Width() int { return f.width }
 
 // Len returns the number of entries added.
 func (f *Forest) Len() int { return len(f.ids) }
@@ -100,16 +121,13 @@ func (f *Forest) Reserve(n int) {
 		copy(ids, f.ids)
 		f.ids = ids
 	}
-	if want := n * f.numHash; cap(f.store) < want {
-		store := make([]uint64, len(f.store), want)
-		copy(store, f.store)
-		f.store = store
-	}
+	f.st.reserveValues(n * f.numHash)
 }
 
 // Add inserts a (id, signature) pair. The signature is copied into the
-// forest's contiguous backing store; the caller keeps ownership of sig. Add
-// invalidates the index; call Index before querying again.
+// forest's contiguous backing store, truncated to the store's width; the
+// caller keeps ownership of sig. Add invalidates the index; call Index
+// before querying again.
 func (f *Forest) Add(id uint32, sig []uint64) {
 	if f.view {
 		panic("lshforest: Add on a read-only view")
@@ -121,21 +139,12 @@ func (f *Forest) Add(id uint32, sig []uint64) {
 	if len(sig) > n {
 		sig = sig[:n]
 	}
-	f.store = append(f.store, sig...)
+	f.st.appendSig(sig)
 	// Signatures shorter than numHash (allowed when bMax*rMax < numHash)
 	// are zero-padded so every entry occupies exactly one stride.
-	for pad := n - len(sig); pad > 0; pad-- {
-		f.store = append(f.store, 0)
-	}
+	f.st.appendZeros(n - len(sig))
 	f.ids = append(f.ids, id)
 	f.indexed = false
-}
-
-// sigAt returns the stored signature of the entry in the given slot as a
-// view into the backing store.
-func (f *Forest) sigAt(slot int) []uint64 {
-	base := slot * f.numHash
-	return f.store[base : base+f.numHash : base+f.numHash]
 }
 
 // SortScratch is the per-worker working memory of a tree rebuild: the radix
@@ -179,8 +188,8 @@ func (f *Forest) PrepareTrees() int {
 	}
 	if f.trees == nil {
 		f.trees = make([][]uint32, f.bMax)
-		f.treeKeys = make([][]uint64, f.bMax)
 	}
+	f.st.prepareTrees(f.bMax)
 	return f.bMax
 }
 
@@ -191,7 +200,6 @@ func (f *Forest) PrepareTrees() int {
 func (f *Forest) RebuildTree(t int, s *SortScratch) {
 	n := len(f.ids)
 	s.grow(n)
-	off := t * f.rMax
 	order := f.trees[t]
 	if cap(order) < n {
 		order = make([]uint32, n)
@@ -200,19 +208,8 @@ func (f *Forest) RebuildTree(t int, s *SortScratch) {
 	for i := range order {
 		order[i] = uint32(i)
 	}
-	f.sortByPrefix(order, s.tmpOrder[:n], s.keys[:n], s.tmpKeys[:n], off, 0)
-	// Rebuild the contiguous leading-value column in sorted order (the
-	// sort scratch may have been clobbered by tie-break recursion).
-	col := f.treeKeys[t]
-	if cap(col) < n {
-		col = make([]uint64, n)
-	}
-	col = col[:n]
-	for i, s := range order {
-		col[i] = f.store[int(s)*f.numHash+off]
-	}
+	f.st.rebuildTree(t, order, s)
 	f.trees[t] = order
-	f.treeKeys[t] = col
 }
 
 // FinishTrees marks the forest indexed after every RebuildTree job has
@@ -249,76 +246,12 @@ func (f *Forest) IndexParallel(workers int) {
 	f.FinishTrees()
 }
 
-// sortByPrefix sorts order by the hash values store[slot*stride+off+depth ..
-// off+rMax-1], least significant last (lexicographic). It radix-sorts on the
-// value at the current depth and recurses into runs of equal values for the
-// deeper tie-break; tiny ranges use insertion sort on the full remaining
-// prefix instead.
-func (f *Forest) sortByPrefix(order, tmpOrder []uint32, keys, tmpKeys []uint64, off, depth int) {
-	if depth >= f.rMax || len(order) < 2 {
-		return
-	}
-	if len(order) <= 12 {
-		f.insertionSortSuffix(order, off+depth, f.rMax-depth)
-		return
-	}
-	stride := f.numHash
-	col := off + depth
-	for i, s := range order {
-		keys[i] = f.store[int(s)*stride+col]
-	}
-	radixSortPairs(keys, order, tmpKeys, tmpOrder)
-	// Recurse into runs of equal keys. Reading keys[start] before any
-	// recursion clobbers that subrange keeps the run detection sound: a
-	// recursive call only rewrites keys strictly before the next run start.
-	start := 0
-	for i := 1; i <= len(order); i++ {
-		if i < len(order) && keys[i] == keys[start] {
-			continue
-		}
-		if i-start > 1 {
-			f.sortByPrefix(order[start:i], tmpOrder[start:i], keys[start:i], tmpKeys[start:i], off, depth+1)
-		}
-		start = i
-	}
-}
-
-// insertionSortSuffix sorts order lexicographically by the r hash values at
-// offset off of each slot's stored signature.
-func (f *Forest) insertionSortSuffix(order []uint32, off, r int) {
-	stride := f.numHash
-	for i := 1; i < len(order); i++ {
-		s := order[i]
-		base := int(s)*stride + off
-		j := i
-		for j > 0 {
-			other := int(order[j-1])*stride + off
-			if !lexLess(f.store[base:base+r], f.store[other:other+r]) {
-				break
-			}
-			order[j] = order[j-1]
-			j--
-		}
-		order[j] = s
-	}
-}
-
-// lexLess reports whether a < b lexicographically; the slices have equal
-// length.
-func lexLess(a, b []uint64) bool {
-	for k := range a {
-		if a[k] != b[k] {
-			return a[k] < b[k]
-		}
-	}
-	return false
-}
-
 // radixSortPairs sorts (keys, vals) pairs by key with an LSD byte-wise radix
 // sort, skipping passes over bytes that are constant across all keys (hash
-// values occupy 61 bits, and small test universes collapse to one or two
-// live bytes). The sorted result is guaranteed to land back in keys/vals;
-// tmpKeys/tmpVals are scratch of the same length.
+// values occupy 61 bits — or 8·width bits in a truncated store — and small
+// test universes collapse to one or two live bytes). The sorted result is
+// guaranteed to land back in keys/vals; tmpKeys/tmpVals are scratch of the
+// same length.
 func radixSortPairs(keys []uint64, vals []uint32, tmpKeys []uint64, tmpVals []uint32) {
 	orAll, andAll := uint64(0), ^uint64(0)
 	for _, k := range keys {
@@ -365,26 +298,12 @@ func radixSortPairs(keys []uint64, vals []uint32, tmpKeys []uint64, tmpVals []ui
 	}
 }
 
-// compareSuffix compares the stored hash values of slot at [base, base+r)
-// against q. Returns -1, 0, or 1.
-func (f *Forest) compareSuffix(base, r int, q []uint64) int {
-	s := f.store[base : base+r]
-	for k := 0; k < r; k++ {
-		if s[k] != q[k] {
-			if s[k] < q[k] {
-				return -1
-			}
-			return 1
-		}
-	}
-	return 0
-}
-
 // Query probes the first b trees at depth r and invokes fn once per
 // *occurrence* of a matching entry (the same id may be reported from
 // multiple trees; use QueryDedup for set semantics). fn returning false
-// stops the scan early. It panics if the forest is not indexed or if (b, r)
-// is out of range.
+// stops the scan early. The query signature is full-width; a narrow store
+// truncates each compared query value to its width on the fly. It panics if
+// the forest is not indexed or if (b, r) is out of range.
 func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
 	if !f.indexed {
 		panic("lshforest: Query before Index")
@@ -395,77 +314,40 @@ func (f *Forest) Query(sig []uint64, b, r int, fn func(id uint32) bool) {
 	if r <= 0 || r > f.rMax {
 		panic(fmt.Sprintf("lshforest: r %d out of range [1, %d]", r, f.rMax))
 	}
-	n := len(f.ids)
-	if n == 0 {
+	if len(f.ids) == 0 {
 		return // indexed empty forest has no trees to probe
 	}
-	stride := f.numHash
-	for t := 0; t < b; t++ {
-		off := t * f.rMax
-		q0 := sig[off]
-		col := f.treeKeys[t]
-		order := f.trees[t]
-		// Equal range of the leading value on the contiguous key column.
-		lo, hi := 0, n
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if col[mid] < q0 {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		left := lo
-		hi = n
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if col[mid] <= q0 {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		right := lo
-		if left == right {
-			continue
-		}
-		if r == 1 {
-			for i := left; i < right; i++ {
-				if !fn(f.ids[order[i]]) {
-					return
-				}
-			}
-			continue
-		}
-		// Refine by the remaining r-1 prefix values within the equal-q0 run.
-		qs := sig[off+1 : off+r]
-		lo, hi = left, right
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if f.compareSuffix(int(order[mid])*stride+off+1, r-1, qs) < 0 {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		for i := lo; i < right; i++ {
-			if f.compareSuffix(int(order[i])*stride+off+1, r-1, qs) != 0 {
-				break
-			}
-			if !fn(f.ids[order[i]]) {
-				return
-			}
-		}
-	}
+	f.st.query(f.ids, f.trees, sig, b, r, fn)
+}
+
+// MatchCount returns the number of signature slots where the entry stored
+// in the given slot (insertion position, [0, Len())) agrees with the query
+// signature, truncated to the store's width. It is the allocation-free
+// scoring primitive containment estimation builds on: a narrow store cannot
+// hand out []uint64 views, but agreement counts only need the truncated
+// values on both sides.
+func (f *Forest) MatchCount(slot int, sig []uint64) int {
+	return f.st.matchCount(slot, sig)
+}
+
+// AppendSigWidened appends the stored signature of the given slot, widened
+// to uint64 values, to dst. For a full-width store the values are the
+// original hash values; for a narrow store they are the stored truncations
+// (truncation is idempotent, so re-adding them to an equally narrow store is
+// lossless).
+func (f *Forest) AppendSigWidened(dst []uint64, slot int) []uint64 {
+	return f.st.appendWidened(dst, slot)
 }
 
 // TreeLeadingColumn returns tree t's sorted column of leading hash values
-// (the value at offset t*RMax of every stored signature) as a view into the
-// forest's index — callers must not mutate it. Any probe of tree t at any
-// depth r ≥ 1 matches an entry only if the query's leading value occurs in
-// this column, which is what makes the column the cheap export segment-level
-// planners (internal/live) build their collision Bloom filters and bounds
-// from. It returns nil for an empty forest and panics before Index.
+// (the value at offset t*RMax of every stored signature) widened to uint64.
+// Any probe of tree t at any depth r ≥ 1 matches an entry only if the
+// query's (truncated) leading value occurs in this column, which is what
+// makes the column the cheap export segment-level planners (internal/live)
+// build their collision Bloom filters and bounds from. For the 8-byte width
+// the returned slice is a view into the forest's index (callers must not
+// mutate it); narrower widths return a widened copy. It returns nil for an
+// empty forest and panics before Index.
 func (f *Forest) TreeLeadingColumn(t int) []uint64 {
 	if !f.indexed {
 		panic("lshforest: TreeLeadingColumn before Index")
@@ -476,8 +358,7 @@ func (f *Forest) TreeLeadingColumn(t int) []uint64 {
 	if len(f.ids) == 0 {
 		return nil
 	}
-	col := f.treeKeys[t]
-	return col[:len(col):len(col)]
+	return f.st.leadingColumn64(t, len(f.ids))
 }
 
 // TreeLeadingBounds returns the smallest and largest leading hash value of
@@ -486,19 +367,32 @@ func (f *Forest) TreeLeadingColumn(t int) []uint64 {
 // tree; with near-uniform hash values the interval is usually wide, so the
 // bounds serve diagnostics and fast-path checks rather than primary pruning.
 func (f *Forest) TreeLeadingBounds(t int) (min, max uint64, ok bool) {
-	col := f.TreeLeadingColumn(t)
-	if len(col) == 0 {
-		return 0, 0, false
+	if !f.indexed {
+		panic("lshforest: TreeLeadingBounds before Index")
 	}
-	return col[0], col[len(col)-1], true
+	if t < 0 || t >= f.bMax {
+		panic(fmt.Sprintf("lshforest: tree %d out of range [0, %d)", t, f.bMax))
+	}
+	return f.st.leadingBounds(t, len(f.ids))
 }
 
 // Each invokes fn for every (id, signature) pair stored in the forest, in
-// insertion order. The signature is a view into the forest's backing store
-// and must not be mutated.
+// insertion order, with the signature widened to uint64 values. For the
+// 8-byte width the signature is a view into the forest's backing store;
+// narrower widths reuse one widened scratch buffer across entries. In both
+// cases the slice is only valid during the callback and must not be mutated.
 func (f *Forest) Each(fn func(id uint32, sig []uint64)) {
+	if store, _, ok := f.st.raw64(); ok {
+		for i, id := range f.ids {
+			base := i * f.numHash
+			fn(id, store[base:base+f.numHash:base+f.numHash])
+		}
+		return
+	}
+	scratch := make([]uint64, 0, f.numHash)
 	for i, id := range f.ids {
-		fn(id, f.sigAt(i))
+		scratch = f.st.appendWidened(scratch[:0], i)
+		fn(id, scratch)
 	}
 }
 
@@ -517,26 +411,40 @@ func (f *Forest) QueryDedup(sig []uint64, b, r int, seen map[uint32]struct{}, fn
 	})
 }
 
-// binary serialization format:
-//   magic "LSHF" | numHash | rMax | n | per entry: id, sig[numHash]
+// binary serialization formats:
+//
+//	v1 (8-byte stores, unchanged since PR 1 — golden-bytes compatible):
+//	  magic "LSHF" | numHash | rMax | n | per entry: id, sig[numHash] as u64
+//	v2 (any width):
+//	  magic "LSF2" | width | numHash | rMax | n | per entry: id,
+//	  sig[numHash] at native width, little-endian
+//
 // Trees are rebuilt on load (sorting is cheaper than storing permutations).
+// AppendBinary emits v1 for 8-byte stores so existing fixtures stay
+// byte-identical, v2 otherwise; DecodeForest reads both.
 
-var forestMagic = [4]byte{'L', 'S', 'H', 'F'}
+var (
+	forestMagic   = [4]byte{'L', 'S', 'H', 'F'}
+	forestMagicV2 = [4]byte{'L', 'S', 'F', '2'}
+)
 
 // ErrCorrupt reports a malformed forest encoding.
 var ErrCorrupt = errors.New("lshforest: corrupt encoding")
 
 // AppendBinary appends the forest's binary encoding to buf.
 func (f *Forest) AppendBinary(buf []byte) []byte {
-	buf = append(buf, forestMagic[:]...)
+	if f.width == 8 {
+		buf = append(buf, forestMagic[:]...)
+	} else {
+		buf = append(buf, forestMagicV2[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.width))
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.numHash))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.rMax))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.ids)))
 	for i, id := range f.ids {
 		buf = binary.LittleEndian.AppendUint32(buf, id)
-		for _, v := range f.sigAt(i) {
-			buf = binary.LittleEndian.AppendUint64(buf, v)
-		}
+		buf = f.st.appendEntryLE(buf, i)
 	}
 	return buf
 }
@@ -548,38 +456,49 @@ func (f *Forest) AppendBinary(buf []byte) []byte {
 // with n >= 1 every allocation is bounded by a multiple of len(buf), and an
 // empty forest allocates nothing regardless of its declared numHash.
 func DecodeForest(buf []byte) (*Forest, []byte, error) {
-	if len(buf) < 16 {
+	if len(buf) < 4 {
 		return nil, buf, ErrCorrupt
 	}
-	if [4]byte(buf[:4]) != forestMagic {
+	width := 8
+	switch [4]byte(buf[:4]) {
+	case forestMagic:
+		buf = buf[4:]
+	case forestMagicV2:
+		if len(buf) < 8 {
+			return nil, buf, ErrCorrupt
+		}
+		width = int(binary.LittleEndian.Uint32(buf[4:]))
+		buf = buf[8:]
+		if width != 1 && width != 2 && width != 4 && width != 8 {
+			return nil, buf, ErrCorrupt
+		}
+	default:
 		return nil, buf, ErrCorrupt
 	}
-	numHash := int(binary.LittleEndian.Uint32(buf[4:]))
-	rMax := int(binary.LittleEndian.Uint32(buf[8:]))
-	n := int(binary.LittleEndian.Uint32(buf[12:]))
-	buf = buf[16:]
+	if len(buf) < 12 {
+		return nil, buf, ErrCorrupt
+	}
+	numHash := int(binary.LittleEndian.Uint32(buf))
+	rMax := int(binary.LittleEndian.Uint32(buf[4:]))
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
 	if numHash <= 0 || rMax <= 0 || rMax > numHash || n < 0 {
 		return nil, buf, ErrCorrupt
 	}
-	// Each entry occupies 4 + 8*numHash bytes. Both factors come from
+	// Each entry occupies 4 + width*numHash bytes. Both factors come from
 	// attacker-controlled uint32 header fields, so the product can exceed
 	// 63 bits; dividing the known-good buffer length instead of multiplying
 	// keeps the check overflow-free.
-	perEntry := 4 + 8*uint64(uint32(numHash))
+	perEntry := 4 + uint64(width)*uint64(uint32(numHash))
 	if uint64(n) > uint64(len(buf))/perEntry {
 		return nil, buf, ErrCorrupt
 	}
-	f := New(numHash, rMax)
+	f := NewWidth(numHash, rMax, width)
 	f.ids = make([]uint32, n)
-	f.store = make([]uint64, n*numHash)
+	f.st.reserveValues(n * numHash)
 	for i := 0; i < n; i++ {
 		f.ids[i] = binary.LittleEndian.Uint32(buf)
-		buf = buf[4:]
-		sig := f.store[i*numHash : (i+1)*numHash]
-		for k := range sig {
-			sig[k] = binary.LittleEndian.Uint64(buf)
-			buf = buf[8:]
-		}
+		buf = f.st.decodeAppendSig(buf[4:])
 	}
 	f.IndexParallel(runtime.GOMAXPROCS(0))
 	return f, buf, nil

@@ -31,12 +31,13 @@ func TestIndexParallelMatchesSerial(t *testing.T) {
 				t.Fatalf("workers=%d tree %d: length %d != %d",
 					workers, tr, len(parallel.trees[tr]), len(serial.trees[tr]))
 			}
+			sCol, pCol := serial.TreeLeadingColumn(tr), parallel.TreeLeadingColumn(tr)
 			for i := range serial.trees[tr] {
 				if serial.trees[tr][i] != parallel.trees[tr][i] {
 					t.Fatalf("workers=%d tree %d slot %d: order %d != %d",
 						workers, tr, i, parallel.trees[tr][i], serial.trees[tr][i])
 				}
-				if serial.treeKeys[tr][i] != parallel.treeKeys[tr][i] {
+				if sCol[i] != pCol[i] {
 					t.Fatalf("workers=%d tree %d slot %d: key mismatch", workers, tr, i)
 				}
 			}
@@ -69,17 +70,18 @@ func TestReserve(t *testing.T) {
 	}
 	f.Add(1, sig)
 	f.Reserve(100)
-	if cap(f.ids) < 100 || cap(f.store) < 100*m {
-		t.Fatalf("Reserve(100): cap(ids)=%d cap(store)=%d", cap(f.ids), cap(f.store))
+	ts := f.st.(*tstore[uint64])
+	if cap(f.ids) < 100 || cap(ts.store) < 100*m {
+		t.Fatalf("Reserve(100): cap(ids)=%d cap(store)=%d", cap(f.ids), cap(ts.store))
 	}
 	if f.Len() != 1 {
 		t.Fatalf("Reserve dropped entries: len %d", f.Len())
 	}
-	base := &f.store[0]
+	base := &ts.store[0]
 	for i := 2; i <= 100; i++ {
 		f.Add(uint32(i), sig)
 	}
-	if &f.store[0] != base {
+	if &ts.store[0] != base {
 		t.Fatal("adds within reserved capacity reallocated the store")
 	}
 	f.Index()

@@ -5,20 +5,56 @@ import "fmt"
 // This file is the out-of-core seam of the forest: accessors that expose the
 // flat storage layout (contiguous signature store, per-tree sorted orders and
 // leading-value columns) so internal/live can persist a built forest into a
-// segment file, and FromView, which reassembles an indexed forest directly
-// over such persisted arrays — possibly zero-copy views of a memory-mapped
-// file (internal/segfile). Nothing here reads the store contents, so opening
-// a mapped segment faults no signature pages.
+// segment file, and FromView/FromViewBytes, which reassemble an indexed
+// forest directly over such persisted arrays — possibly zero-copy views of a
+// memory-mapped file (internal/segfile). Nothing here reads the store
+// contents, so opening a mapped segment faults no signature pages.
 
 // IDs returns the caller-assigned id of every entry in insertion order as a
 // read-only view (full-slice expression: appends cannot clobber the store).
 func (f *Forest) IDs() []uint32 { return f.ids[:len(f.ids):len(f.ids)] }
 
 // StoreRaw returns the contiguous signature backing store (stride NumHash)
-// as a read-only view. Together with IDs, Tree and TreeLeadingColumn this is
-// exactly the state FromView consumes, so a built forest round-trips through
-// persistence without re-sorting.
-func (f *Forest) StoreRaw() []uint64 { return f.store[:len(f.store):len(f.store)] }
+// as a read-only view. It is the legacy full-width seam and panics for a
+// narrow store, whose elements are not uint64 — width-generic callers use
+// StoreLenBytes/WriteStoreLE instead.
+func (f *Forest) StoreRaw() []uint64 {
+	store, _, ok := f.st.raw64()
+	if !ok {
+		panic(fmt.Sprintf("lshforest: StoreRaw on a %d-byte-wide store", f.width))
+	}
+	return store[:len(store):len(store)]
+}
+
+// StoreLenBytes returns the serialized byte length of the signature store:
+// Len() * NumHash() * Width(). This is the number /stats and the segment
+// files report as signature bytes — the quantity the compact sketch
+// backends shrink.
+func (f *Forest) StoreLenBytes() int { return f.st.valueCount() * f.width }
+
+// WriteStoreLE serializes the whole signature store, little-endian at
+// native width, into dst; len(dst) must be exactly StoreLenBytes(). For an
+// 8-byte store the bytes are identical to the pre-width-generalization
+// []uint64 dump, keeping segment files golden-compatible.
+func (f *Forest) WriteStoreLE(dst []byte) {
+	if len(dst) != f.StoreLenBytes() {
+		panic(fmt.Sprintf("lshforest: WriteStoreLE into %d bytes, store is %d", len(dst), f.StoreLenBytes()))
+	}
+	f.st.writeStoreLE(dst)
+}
+
+// WriteTreeKeysLE serializes tree t's sorted leading-value column,
+// little-endian at native width, into dst; len(dst) must be exactly
+// Len() * Width(). Panics before Index.
+func (f *Forest) WriteTreeKeysLE(t int, dst []byte) {
+	if !f.indexed {
+		panic("lshforest: WriteTreeKeysLE before Index")
+	}
+	if len(dst) != len(f.ids)*f.width {
+		panic(fmt.Sprintf("lshforest: WriteTreeKeysLE into %d bytes, column is %d", len(dst), len(f.ids)*f.width))
+	}
+	f.st.writeTreeKeysLE(t, dst)
+}
 
 // Tree returns tree t's sorted slot order as a read-only view. Like
 // TreeLeadingColumn it panics if the forest has not been indexed.
@@ -36,15 +72,16 @@ func (f *Forest) Tree(t int) []uint32 {
 	return o[:len(o):len(o)]
 }
 
-// FromView reassembles an indexed forest over externally owned storage. The
-// slices must satisfy the invariants Index would have established: len(store)
-// == len(ids)*numHash; one order and one leading-value column per tree, each
-// of len(ids), with column c[i] == store[order[i]*numHash + t*rMax] and the
-// column sorted by the tree's full hash vector. Only lengths are validated —
-// verifying contents would fault every lazily mapped page, defeating the
-// point; a checksummed loader (internal/live's segment files) is expected to
-// guard the bytes instead. The returned forest is a read-only view: Add,
-// Reserve and tree rebuilds panic.
+// FromView reassembles an indexed full-width (8-byte) forest over
+// externally owned storage. The slices must satisfy the invariants Index
+// would have established: len(store) == len(ids)*numHash; one order and one
+// leading-value column per tree, each of len(ids), with column
+// c[i] == store[order[i]*numHash + t*rMax] and the column sorted by the
+// tree's full hash vector. Only lengths are validated — verifying contents
+// would fault every lazily mapped page, defeating the point; a checksummed
+// loader (internal/live's segment files) is expected to guard the bytes
+// instead. The returned forest is a read-only view: Add, Reserve and tree
+// rebuilds panic.
 func FromView(numHash, rMax int, ids []uint32, store []uint64, trees [][]uint32, treeKeys [][]uint64) (*Forest, error) {
 	f := New(numHash, rMax)
 	if len(store) != len(ids)*numHash {
@@ -60,10 +97,44 @@ func FromView(numHash, rMax int, ids []uint32, store []uint64, trees [][]uint32,
 			}
 		}
 		f.trees = trees
-		f.treeKeys = treeKeys
+		ts := f.st.(*tstore[uint64])
+		ts.store = store
+		ts.treeKeys = treeKeys
 	}
 	f.ids = ids
-	f.store = store
+	f.view = true
+	f.indexed = true
+	return f, nil
+}
+
+// FromViewBytes is FromView generalized over the store element width: the
+// signature store and per-tree leading-value columns arrive as little-endian
+// byte regions (usually sections of a mapped segment file) and are cast to
+// typed views without copying on little-endian hosts. width is the element
+// width in bytes (1, 2, 4 or 8); the invariants and the read-only contract
+// match FromView.
+func FromViewBytes(numHash, rMax, width int, ids []uint32, store []byte, trees [][]uint32, keys [][]byte) (*Forest, error) {
+	f := NewWidth(numHash, rMax, width)
+	if len(store) != len(ids)*numHash*width {
+		return nil, fmt.Errorf("lshforest: view store has %d bytes, want %d ids × %d hashes × width %d",
+			len(store), len(ids), numHash, width)
+	}
+	if len(ids) > 0 {
+		if len(trees) != f.bMax || len(keys) != f.bMax {
+			return nil, fmt.Errorf("lshforest: view has %d orders / %d columns, want %d trees", len(trees), len(keys), f.bMax)
+		}
+		for t := 0; t < f.bMax; t++ {
+			if len(trees[t]) != len(ids) || len(keys[t]) != len(ids)*width {
+				return nil, fmt.Errorf("lshforest: view tree %d has %d entries / %d column bytes, want %d / %d",
+					t, len(trees[t]), len(keys[t]), len(ids), len(ids)*width)
+			}
+		}
+		f.trees = trees
+		if err := f.st.viewFrom(store, keys); err != nil {
+			return nil, err
+		}
+	}
+	f.ids = ids
 	f.view = true
 	f.indexed = true
 	return f, nil

@@ -1,0 +1,173 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"lshensemble/internal/xrand"
+)
+
+// kmvOver sketches the integers [lo, hi) — the ground-truth sets the
+// closed-form checks compare against.
+func kmvOver(k int, lo, hi uint64) *KMV {
+	s := NewKMV(k)
+	for v := lo; v < hi; v++ {
+		s.PushUint64(v)
+	}
+	return s
+}
+
+// TestKMVExactBelowK: a sketch that never filled holds the complete distinct
+// hash set, so every estimator is exact.
+func TestKMVExactBelowK(t *testing.T) {
+	a := kmvOver(256, 0, 100)  // {0..99}
+	b := kmvOver(256, 50, 150) // {50..149}, overlap 50
+	if got := a.Cardinality(); got != 100 {
+		t.Fatalf("Cardinality = %v, want exactly 100", got)
+	}
+	if got := a.Intersection(b); got != 50 {
+		t.Fatalf("Intersection = %v, want exactly 50", got)
+	}
+	if got := a.Union(b); got != 150 {
+		t.Fatalf("Union = %v, want exactly 150", got)
+	}
+	if got := a.Jaccard(b); got != 50.0/150.0 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if got := a.Containment(b); got != 0.5 {
+		t.Fatalf("Containment = %v, want exactly 0.5", got)
+	}
+	if got := b.Containment(a); got != 0.5 {
+		t.Fatalf("reverse Containment = %v, want exactly 0.5", got)
+	}
+}
+
+// TestKMVDuplicatesIgnored: pushing a value twice must not change anything —
+// the sketch is over distinct values.
+func TestKMVDuplicatesIgnored(t *testing.T) {
+	s := NewKMV(64)
+	for i := 0; i < 10; i++ {
+		s.PushUint64(7)
+		s.PushString("x")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after duplicate pushes, want 2", s.Len())
+	}
+	if s.Cardinality() != 2 {
+		t.Fatalf("Cardinality = %v, want exactly 2", s.Cardinality())
+	}
+}
+
+// TestKMVCardinalityEstimate: the (k−1)/U(k) estimator on uniform hashed
+// data must land within a few standard errors (σ ≈ n/√(k−2)).
+func TestKMVCardinalityEstimate(t *testing.T) {
+	for _, tc := range []struct {
+		k, n int
+	}{
+		{128, 10000},
+		{256, 10000},
+		{512, 100000},
+	} {
+		s := kmvOver(tc.k, 0, uint64(tc.n))
+		got := s.Cardinality()
+		tol := 4 * float64(tc.n) / math.Sqrt(float64(tc.k-2))
+		if math.Abs(got-float64(tc.n)) > tol {
+			t.Errorf("k=%d n=%d: Cardinality = %.0f, want %d ± %.0f", tc.k, tc.n, got, tc.n, tol)
+		}
+	}
+}
+
+// TestKMVContainmentEstimate sweeps true containment levels and checks the
+// asymmetric estimator against ground truth on overlapping integer ranges.
+func TestKMVContainmentEstimate(t *testing.T) {
+	const k, n = 512, 20000
+	for _, trueT := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		overlap := uint64(trueT * n)
+		q := kmvOver(k, 0, n)
+		x := kmvOver(k, n-overlap, 2*n-overlap) // |Q∩X| = overlap, |X| = n
+		got := q.Containment(x)
+		// ρ is a hypergeometric proportion over k draws; 4σ with σ ≈ 1/√k
+		// plus the union-cardinality noise comfortably bounds it.
+		tol := 4 / math.Sqrt(k)
+		if math.Abs(got-trueT) > tol+0.02 {
+			t.Errorf("true containment %.2f: estimate %.3f (tol %.3f)", trueT, got, tol+0.02)
+		}
+	}
+}
+
+// TestKMVMergeIsUnion: merging two sketches must equal sketching the union
+// directly — same kept values, bit for bit.
+func TestKMVMergeIsUnion(t *testing.T) {
+	a := kmvOver(128, 0, 5000)
+	b := kmvOver(128, 2500, 7500)
+	u := kmvOver(128, 0, 7500)
+	a.Merge(b)
+	av, uv := a.Values(), u.Values()
+	if len(av) != len(uv) {
+		t.Fatalf("merged kept %d values, direct union kept %d", len(av), len(uv))
+	}
+	for i := range av {
+		if av[i] != uv[i] {
+			t.Fatalf("value %d: merged %d != direct %d", i, av[i], uv[i])
+		}
+	}
+}
+
+// TestKMVEncodeDecodeRoundTrip: AppendBinary → DecodeKMV is the identity,
+// and the decoded sketch keeps estimating.
+func TestKMVEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(3)
+	s := NewKMV(64)
+	for i := 0; i < 1000; i++ {
+		s.PushUint64(rng.Uint64())
+	}
+	buf := s.AppendBinary(nil)
+	d, rest, err := DecodeKMV(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if d.K() != s.K() || d.Len() != s.Len() {
+		t.Fatalf("decoded (k=%d, n=%d), want (k=%d, n=%d)", d.K(), d.Len(), s.K(), s.Len())
+	}
+	dv, sv := d.Values(), s.Values()
+	for i := range sv {
+		if dv[i] != sv[i] {
+			t.Fatalf("value %d: %d != %d", i, dv[i], sv[i])
+		}
+	}
+	if d.Cardinality() != s.Cardinality() {
+		t.Fatalf("decoded cardinality %v != %v", d.Cardinality(), s.Cardinality())
+	}
+}
+
+// TestKMVDecodeRejectsCorrupt: hostile encodings must error, never panic or
+// build an inconsistent sketch.
+func TestKMVDecodeRejectsCorrupt(t *testing.T) {
+	good := kmvOver(16, 0, 100).AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:6],
+		"truncated body": good[:len(good)-3],
+		"k zero":         append([]byte{0, 0, 0, 0}, good[4:]...),
+		"n beyond k":     append([]byte{1, 0, 0, 0}, good[4:]...),
+	}
+	// Descending values.
+	desc := append([]byte(nil), good...)
+	copy(desc[8:16], good[16:24])
+	copy(desc[16:24], good[8:16])
+	cases["descending values"] = desc
+	// Value at/above the base-hash range.
+	big := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ {
+		big[len(big)-8+i] = 0xff
+	}
+	cases["value out of range"] = big
+	for name, buf := range cases {
+		if _, _, err := DecodeKMV(buf); err == nil {
+			t.Errorf("%s: corrupt encoding accepted", name)
+		}
+	}
+}

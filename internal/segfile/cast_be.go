@@ -6,6 +6,9 @@ package segfile
 // every typed view decodes into a fresh heap slice. Correct but not
 // zero-copy; the out-of-core path then behaves like an eager load.
 
+// View decodes b, a little-endian array of E, into a fresh []E.
+func View[E Elem](b []byte) []E { return decodeView[E](b) }
+
 // Uint64s decodes b, a little-endian u64 array, into a fresh []uint64.
 func Uint64s(b []byte) []uint64 { return decodeUint64s(b) }
 

@@ -11,6 +11,21 @@ import "unsafe"
 // arbitrary offset of a larger buffer) falls back to the decoding copy —
 // semantically identical, just not zero-copy.
 
+// View views b, a little-endian array of E whose length is a multiple of
+// E's size, as []E — the width-generic form of Uint64s/Uint32s serving the
+// pluggable sketch widths. The result aliases b when zero-copy applies;
+// callers must treat it as read-only and must not outlive b's backing.
+func View[E Elem](b []byte) []E {
+	if len(b) == 0 {
+		return nil
+	}
+	w := unsafe.Sizeof(E(0))
+	if uintptr(unsafe.Pointer(&b[0]))%w != 0 {
+		return decodeView[E](b)
+	}
+	return unsafe.Slice((*E)(unsafe.Pointer(&b[0])), uintptr(len(b))/w)
+}
+
 // Uint64s views b, a little-endian u64 array whose length is a multiple of
 // 8, as []uint64. The result aliases b when zero-copy applies; callers must
 // treat it as read-only and must not outlive b's backing.

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Backing is a read-only byte region holding one file's contents. Exactly
@@ -72,6 +73,29 @@ func (b *Backing) Close() error {
 		return munmap(data)
 	}
 	return nil
+}
+
+// Elem constrains the element types of typed on-disk array views: the hash
+// value widths of the pluggable sketch backends (b-bit minwise stores 1, 2
+// or 4 bytes per value, the default minwise stores 8).
+type Elem interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// decodeView is the portable fallback of View: an explicit little-endian
+// decode into a fresh slice (used on big-endian hosts and for misaligned
+// input).
+func decodeView[E Elem](b []byte) []E {
+	w := int(unsafe.Sizeof(E(0)))
+	out := make([]E, len(b)/w)
+	for i := range out {
+		var u uint64
+		for k := w - 1; k >= 0; k-- {
+			u = u<<8 | uint64(b[i*w+k])
+		}
+		out[i] = E(u)
+	}
+	return out
 }
 
 // decodeUint64s is the portable fallback of Uint64s: an explicit

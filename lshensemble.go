@@ -35,6 +35,37 @@ type DomainRecord = core.Record
 // (NumHash 256, RMax 8, NumPartitions 16, equi-depth partitioning).
 type Options = core.Options
 
+// SketchBackend selects how the flat signature store represents each of the
+// NumHash minwise values — the accuracy-vs-bytes knob. Minwise64 is the
+// default full-width representation; Minwise8/16/32 store b-bit truncations
+// (Li & König) at 1/8th–1/2 the bytes, correcting containment estimates for
+// the 2⁻ᵇ chance-collision floor. KMV is evaluation-only (not indexable).
+type SketchBackend = core.SketchBackend
+
+// Sketch backends for Options.Sketch.
+const (
+	Minwise64 = core.Minwise64
+	Minwise8  = core.Minwise8
+	Minwise16 = core.Minwise16
+	Minwise32 = core.Minwise32
+)
+
+// ParseSketchBackend resolves a backend name ("minwise64", "minwise8",
+// "minwise16", "minwise32", "kmv") — the vocabulary of the daemon's -sketch
+// flag.
+func ParseSketchBackend(name string) (SketchBackend, error) {
+	return core.ParseSketchBackend(name)
+}
+
+// KMVSketch is a k-minimum-values cardinality sketch (Beyer et al.), the
+// cardinality-aware containment estimator on the evaluation path. It cannot
+// back an index; Build rejects Options{Sketch: KMV}.
+type KMVSketch = minhash.KMV
+
+// NewKMVSketch returns an empty KMV sketch keeping the k smallest distinct
+// hashes.
+func NewKMVSketch(k int) *KMVSketch { return minhash.NewKMV(k) }
+
 // Index is a built LSH Ensemble. It is safe for concurrent queries.
 type Index = core.Index
 
